@@ -1,0 +1,71 @@
+"""Ablation (ours) — UVM fault-buffer batch servicing.
+
+The paper's runtime services one fault group per 20 us operation.  Real
+UVM drains the fault buffer in batches; this ablation sweeps the batch
+size and shows how much of the baseline's fault-bound runtime is the
+serialised base cost (and that the *relative* CPPE-vs-baseline shape is
+robust to the servicing model).
+"""
+
+from dataclasses import replace
+
+from conftest import run_artifact
+from repro.config import SimConfig, UVMConfig
+from repro.engine.simulator import Simulator
+from repro.harness.baselines import build_setup
+from repro.harness.figures import FigureResult
+from repro.workloads.suite import make_workload
+
+APPS = ["2DC", "SRD", "NW"]
+BATCHES = [1, 2, 4, 8]
+
+
+def _run(app, setup, batch, rate=0.5):
+    cfg = SimConfig(uvm=UVMConfig(fault_batch_size=batch))
+    policy, prefetcher = build_setup(setup)
+    return Simulator(
+        make_workload(app), policy=policy, prefetcher=prefetcher,
+        oversubscription=rate, config=cfg,
+    ).run()
+
+
+def test_ablation_fault_batching(benchmark, capsys):
+    def generate():
+        series = {}
+        for batch in BATCHES:
+            points = {}
+            for app in APPS:
+                base1 = _run(app, "baseline", 1)
+                batched = _run(app, "baseline", batch)
+                points[app] = base1.total_cycles / batched.total_cycles
+            series[f"batch={batch}"] = points
+        return FigureResult(
+            name="ablation-batching",
+            description="baseline speedup from fault-buffer batch servicing "
+                        "(relative to batch=1, 50% oversubscription)",
+            series=series,
+        )
+
+    result = run_artifact(benchmark, capsys, generate)
+    assert all(v == 1.0 for v in result.series["batch=1"].values())
+    # Larger batches never hurt and help the fault-bound apps.
+    for app in APPS:
+        assert result.series["batch=8"][app] >= 0.95
+    assert max(result.series["batch=8"].values()) > 1.3
+
+
+def test_cppe_advantage_robust_to_batching(benchmark, capsys):
+    """CPPE's win over the baseline survives a batched servicing model."""
+
+    def run():
+        speedups = {}
+        for batch in (1, 4):
+            base = _run("SRD", "baseline", batch)
+            cppe = _run("SRD", "cppe", batch)
+            speedups[batch] = cppe.speedup_over(base)
+        return speedups
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nSRD cppe-vs-baseline speedup by batch size: {speedups}\n")
+    assert all(s > 1.2 for s in speedups.values())

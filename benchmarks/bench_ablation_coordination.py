@@ -1,0 +1,46 @@
+"""Ablation (ours) — isolating CPPE's two halves.
+
+``mhpe-naive``   = MHPE eviction + naive whole-chunk prefetch;
+``lru-pattern``  = LRU eviction + pattern-aware prefetch;
+``cppe``         = both, coordinated.
+
+Expected shape: the eviction half carries the thrashing (Type IV) wins, the
+prefetch half carries the strided (MVT/NW) wins, and full CPPE matches or
+beats each half on its home turf — the paper's fine-grained-coordination
+thesis.
+"""
+
+from conftest import run_artifact
+from repro.harness import figures
+
+APPS = ["SRD", "HSD", "STN", "MVT", "NW", "SAD", "B+T"]
+
+
+def test_ablation_coordination(benchmark, capsys):
+    def generate():
+        from repro.harness.figures import FigureResult, _avg, _speedup_series
+
+        series = {}
+        for rate in (0.5,):
+            sub = _speedup_series(
+                APPS, ["mhpe-naive", "lru-pattern", "cppe"], "baseline",
+                rate, scale=1.0,
+            )
+            for name, pts in sub.items():
+                series[f"{name}@{rate:.0%}"] = pts
+        return FigureResult(
+            name="ablation-coordination",
+            description="MHPE-only vs pattern-prefetch-only vs full CPPE",
+            series=series,
+            averages=_avg(series),
+        )
+
+    result = run_artifact(benchmark, capsys, generate)
+    mhpe = result.series["mhpe-naive@50%"]
+    pattern = result.series["lru-pattern@50%"]
+    cppe = result.series["cppe@50%"]
+    # Eviction half owns Type IV; prefetch half owns the strided apps.
+    assert mhpe["SRD"] > 1.2
+    assert pattern["MVT"] > 1.5
+    # Full CPPE holds both wins simultaneously.
+    assert cppe["SRD"] > 1.2 and cppe["MVT"] > 1.5

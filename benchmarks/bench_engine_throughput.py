@@ -1,0 +1,52 @@
+"""Engine microbenchmarks — simulator throughput, not a paper artifact.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the simulation engine itself: accesses simulated per second on a hit-heavy
+stream and on a fault-heavy stream.  They guard against performance
+regressions in the hot paths (SM burst loop, TLB lookup, GMMU service).
+"""
+
+import numpy as np
+
+from repro.config import SimConfig, SMConfig
+from repro.engine.simulator import Simulator
+from repro.workloads.base import Workload
+
+
+def _hit_heavy_workload():
+    # One footprint pass, then many re-touches: dominated by the hit path.
+    footprint = 512
+    sweep = np.arange(footprint, dtype=np.int64)
+    return Workload(
+        name="hits", pattern_type="I", footprint_pages=footprint,
+        accesses=np.concatenate([sweep] + [sweep] * 9),
+    )
+
+
+def _fault_heavy_workload():
+    # Cyclic thrash at 50%: nearly every access faults.
+    footprint = 512
+    sweep = np.arange(footprint, dtype=np.int64)
+    return Workload(
+        name="faults", pattern_type="IV", footprint_pages=footprint,
+        accesses=np.concatenate([sweep] * 4),
+    )
+
+
+CFG = SimConfig(sm=SMConfig(num_sms=8))
+
+
+def test_hit_path_throughput(benchmark):
+    def run():
+        return Simulator(_hit_heavy_workload(), oversubscription=None, config=CFG).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["accesses"] = result.stats.accesses
+
+
+def test_fault_path_throughput(benchmark):
+    def run():
+        return Simulator(_fault_heavy_workload(), oversubscription=0.5, config=CFG).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["far_faults"] = result.stats.far_faults

@@ -1,0 +1,38 @@
+"""Fig. 10 — disabling prefetch once memory fills, vs baseline and CPPE.
+
+Paper shape: disabling prefetch costs regular applications up to 85%; it
+helps only the severe thrashers (SAD at 50%, NW, MVT, BIC); CPPE beats
+disabling everywhere except SAD, whose evicted chunks carry no stable
+pattern while being strongly capacity-sensitive.
+"""
+
+from conftest import run_artifact
+from repro.harness import figures
+
+
+def test_fig10(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, figures.fig10)
+    for rate in ("75%", "50%"):
+        stop = result.series[f"stop-on-full@{rate}"]
+        cppe = result.series[f"cppe@{rate}"]
+        # Regular apps suffer from disabling prefetch.
+        for app in ("HOT", "2DC"):
+            assert stop[app] < 0.9, (rate, app)
+        # The strided crashers prefer disabling over naive prefetch...
+        for app in ("MVT", "BIC"):
+            assert stop[app] > 1.0, (rate, app)
+            # ...but CPPE beats disabling for them.
+            assert cppe[app] > stop[app], (rate, app)
+
+
+def test_fig10_with_crash_budget(benchmark, capsys):
+    """The paper's presentation: baseline crashes for MVT/BIC ('X'), so
+    those bars normalise to the prefetch-off run instead."""
+
+    def run():
+        return figures.fig10(apps=["MVT", "BIC"], crash_budget=8.0)
+
+    result = run_artifact(benchmark, capsys, run)
+    assert any("crashed" in note for note in result.notes)
+    for rate in ("75%", "50%"):
+        assert result.series[f"cppe@{rate}"]["MVT"] > 1.0

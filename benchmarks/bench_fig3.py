@@ -1,0 +1,16 @@
+"""Fig. 3 — LRU vs Random vs reserved LRU (top 20%), naive prefetch, 50%.
+
+Paper shape: reserved LRU gains at most ~11% on the thrashing apps (SRD,
+HSD, MRQ, STN), sometimes below Random, and loses heavily (up to 53%) on
+the region-moving apps (B+T, HYB).
+"""
+
+from conftest import run_artifact
+from repro.harness import figures
+
+
+def test_fig3(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, figures.fig3)
+    # Shape guard: reserved LRU must lose on the Type VI apps.
+    assert result.series["lru-20"]["B+T"] < 1.0
+    assert result.series["lru-20"]["HYB"] < 1.0

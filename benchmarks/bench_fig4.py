@@ -1,0 +1,34 @@
+"""Fig. 4 — eviction blow-up from prefetching once memory is full (LRU, 50%).
+
+Paper shape: most applications change < 20%; SAD and NW blow up ~10x; MVT
+and BIC crash outright (reproduced here both as an eviction ratio and, with
+a crash budget, as an actual ``crashed`` run).
+"""
+
+from conftest import run_artifact
+from repro.harness import figures
+from repro.harness.experiment import RunSpec, run_one
+
+
+def test_fig4(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, figures.fig4)
+    ratios = result.series["eviction-ratio"]
+    assert ratios["MVT"] == max(ratios.values())
+    assert ratios["MVT"] > 5.0
+    assert "SAD" in ratios and "NW" in ratios
+
+
+def test_fig4_crash_model(benchmark, capsys):
+    """With an eviction budget, the paper's MVT/BIC crashes reproduce."""
+
+    def run():
+        return [
+            run_one(RunSpec(app, "baseline", 0.5, crash_budget_factor=8.0))
+            for app in ("MVT", "BIC")
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        for r in results:
+            print(f"\n{r.workload}: crashed={r.crashed} ({r.crash_reason})")
+    assert all(r.crashed for r in results)

@@ -1,0 +1,30 @@
+"""Fig. 9 — Random / LRU-10% / LRU-20% / CPPE vs the baseline, full suite.
+
+Paper shape: reserved LRU helps the thrashing types but never beats CPPE;
+LRU-10% loses ~27% on Type VI at 50%; simply changing the eviction policy
+does not fix the baseline's inefficiency.
+"""
+
+from conftest import run_artifact
+from repro.analysis.metrics import mean
+from repro.harness import figures
+from repro.workloads.suite import benchmarks_by_type
+
+
+def test_fig9(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, figures.fig9)
+    type_iv = [s.abbr for s in benchmarks_by_type("IV")]
+    type_vi = [s.abbr for s in benchmarks_by_type("VI")]
+    for rate in ("75%", "50%"):
+        cppe = result.series[f"cppe@{rate}"]
+        for other in ("random", "lru-10", "lru-20"):
+            pts = result.series[f"{other}@{rate}"]
+            # CPPE wins on average against every alternative policy.
+            assert mean(cppe.values()) > mean(pts.values()), (rate, other)
+            # And on the thrashing type specifically.
+            assert mean(cppe[a] for a in type_iv) >= mean(
+                pts[a] for a in type_iv
+            ), (rate, other)
+    # Reserved LRU hurts capacity-sensitive Type VI at 50%.
+    lru10 = result.series["lru-10@50%"]
+    assert mean(lru10[a] for a in type_vi) < 1.0

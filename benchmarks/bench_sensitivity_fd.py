@@ -1,0 +1,19 @@
+"""Section IV-B sensitivity — untouch level vs fixed forward distance 1..10.
+
+Paper shape: regular applications' untouch level drops sharply once the
+distance reaches ~2; irregular applications stay high across the range,
+which is what makes untouch level a usable classifier in 2..8.
+"""
+
+from conftest import run_artifact
+from repro.harness import tables
+
+
+def test_sensitivity_fd(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, tables.sensitivity_fd)
+    d = result.as_dict()
+    # Regular untouch at distance >= 2 is far below distance 1.
+    assert d[(2, "regular")] <= d[(1, "regular")]
+    # Irregular stays clearly above regular throughout the usable range.
+    for dist in (2, 4, 6, 8):
+        assert d[(dist, "irregular")] > d[(dist, "regular")]

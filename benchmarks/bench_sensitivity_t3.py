@@ -1,0 +1,18 @@
+"""Section VI-A sensitivity — the forward-distance limit T3, swept 16..40.
+
+Paper shape: SRD/HSD/MRQ adjust continuously at runtime; a limit of 32 has
+the best average performance among the candidates.
+"""
+
+from conftest import run_artifact
+from repro.harness import tables
+
+
+def test_sensitivity_t3(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, tables.sensitivity_t3)
+    by_t3 = {row[0]: row[1] for row in result.rows}
+    # All candidates beat the baseline on these thrashing apps.
+    assert all(v > 1.0 for v in by_t3.values())
+    # The paper's chosen value performs within 5% of the best candidate.
+    best = max(by_t3.values())
+    assert by_t3[32] >= 0.95 * best

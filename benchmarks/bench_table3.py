@@ -1,0 +1,20 @@
+"""Table III — max per-interval untouch level in the first four intervals.
+
+Paper shape: a wide range (0..60); Types II/III/V/VI sit high, Types I/IV
+low; MRU-friendly apps (HSD, LEU, SRD) stay below T1 = 32.
+"""
+
+from conftest import run_artifact
+from repro.harness import tables
+
+
+def test_table3(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, tables.table3)
+    d = result.as_dict()
+    for rate in ("75%", "50%"):
+        # The MRU-favouring Type IV thrashers keep low untouch levels...
+        assert d[(rate, "SRD")] < 32
+        assert d[(rate, "HSD")] < 32
+        # ...while stride-4 MVT/BIC and region-moving B+T sit high.
+        assert d[(rate, "MVT")] >= 32
+        assert d[(rate, "B+T")] > d[(rate, "SRD")]

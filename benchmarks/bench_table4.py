@@ -1,0 +1,23 @@
+"""Table IV — cumulative untouch level over the first four intervals for
+applications whose Table III maximum stays below T1.
+
+Paper shape: T2 = 40 separates HSD (MRU-friendly, below) from the apps that
+favour LRU (above).
+"""
+
+from conftest import run_artifact
+from repro.harness import tables
+
+
+def test_table4(benchmark, capsys):
+    result = run_artifact(benchmark, capsys, tables.table4)
+    apps = {row[1] for row in result.rows}
+    # The filter removed the highest-untouch apps (MVT/BIC exceed T1 in
+    # every early interval); borderline apps like B+T may pass the filter
+    # at one rate, as DWT/NW do in the paper's own Table IV.
+    assert "MVT" not in apps and "BIC" not in apps
+    # HSD (MRU-friendly) stays below T2 wherever it appears.
+    d = result.as_dict()
+    for rate in ("75%", "50%"):
+        if (rate, "HSD") in d:
+            assert d[(rate, "HSD")] < 40

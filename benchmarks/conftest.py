@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_*`` module regenerates one artifact of the paper's evaluation
+(figure, table, or sensitivity study), prints it, and records the headline
+numbers in ``benchmark.extra_info`` so ``pytest benchmarks/ --benchmark-only
+--benchmark-json=...`` captures them.
+
+Simulation results are memoised per process (the same baseline run feeds
+several figures), so each bench's wall time covers only the simulations not
+already performed by earlier benches in the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_artifact(benchmark, capsys, fn, **extra_info):
+    """Benchmark ``fn`` once, print its rendered artifact, record extras."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    for key, value in extra_info.items():
+        benchmark.extra_info[key] = value
+    if hasattr(result, "averages"):
+        benchmark.extra_info["averages"] = {
+            k: round(v, 3) for k, v in result.averages.items()
+        }
+    with capsys.disabled():
+        print("\n" + result.render() + "\n")
+    return result

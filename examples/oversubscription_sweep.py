@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Oversubscription sweep: how runtime degrades as memory shrinks.
+
+For a handful of representative applications, sweeps the device memory
+capacity from 100% of the footprint down to 40% and prints the slowdown of
+the baseline and of CPPE relative to the unconstrained run — the experiment
+behind the paper's choice of the 75% / 50% operating points.
+
+Run:  python examples/oversubscription_sweep.py [APP ...]
+"""
+
+import sys
+
+from repro import Simulator, make_workload
+from repro.core import CPPE
+from repro.policies import LRUPolicy
+from repro.prefetch import LocalityPrefetcher
+
+RATES = [1.0, 0.9, 0.75, 0.6, 0.5, 0.4]
+DEFAULT_APPS = ["HSD", "NW", "B+T"]
+
+
+def run(app: str, rate: float, use_cppe: bool) -> int:
+    workload = make_workload(app)
+    if use_cppe:
+        pair = CPPE.create()
+        policy, prefetcher = pair.policy, pair.prefetcher
+    else:
+        policy, prefetcher = LRUPolicy(), LocalityPrefetcher("continue")
+    result = Simulator(
+        workload,
+        policy=policy,
+        prefetcher=prefetcher,
+        oversubscription=None if rate >= 1.0 else rate,
+    ).run()
+    return result.total_cycles
+
+
+def main() -> None:
+    apps = sys.argv[1:] or DEFAULT_APPS
+    header = "rate  " + "".join(
+        f"{app + ' base':>12}{app + ' cppe':>12}" for app in apps
+    )
+    print(header)
+    print("-" * len(header))
+    unconstrained = {
+        (app, mode): run(app, 1.0, mode) for app in apps for mode in (False, True)
+    }
+    for rate in RATES:
+        cells = []
+        for app in apps:
+            for mode in (False, True):
+                cycles = run(app, rate, mode)
+                slowdown = cycles / unconstrained[(app, mode)]
+                cells.append(f"{slowdown:>11.2f}x")
+        print(f"{rate:>4.0%}  " + "".join(cells))
+    print(
+        "\nSlowdown relative to unconstrained memory (1.00x = no penalty)."
+        "\nShape to expect: the baseline's slowdown explodes for the"
+        "\nthrashing app (HSD) as capacity crosses below the working set,"
+        "\nwhile CPPE degrades gracefully; the LRU-friendly app (B+T) is"
+        "\nsimilar under both."
+    )
+
+
+if __name__ == "__main__":
+    main()

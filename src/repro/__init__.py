@@ -1,0 +1,78 @@
+"""Reproduction of *Coordinated Page Prefetch and Eviction for Memory
+Oversubscription Management in GPUs* (Yu et al., IPDPS 2020).
+
+Public API tour::
+
+    from repro import Simulator, make_workload, SimConfig
+    from repro.core import CPPE
+    from repro.policies import LRUPolicy, MHPEPolicy, ReservedLRUPolicy
+    from repro.prefetch import LocalityPrefetcher, PatternAwarePrefetcher
+
+    wl = make_workload("SRD")                       # Table II application
+    baseline = Simulator(wl, policy=LRUPolicy(),
+                         prefetcher=LocalityPrefetcher("continue"),
+                         oversubscription=0.5).run()
+    pair = CPPE.create()
+    cppe = Simulator(wl, policy=pair.policy, prefetcher=pair.prefetcher,
+                     oversubscription=0.5).run()
+    print(cppe.speedup_over(baseline))
+
+The experiment harness (``repro.harness``) regenerates every figure and
+table of the paper's evaluation; see EXPERIMENTS.md.
+"""
+
+from .config import (
+    HPEConfig,
+    MHPEConfig,
+    PatternBufferConfig,
+    SimConfig,
+    SMConfig,
+    TLBConfig,
+    TranslationConfig,
+    UVMConfig,
+    WalkerConfig,
+)
+from .engine.simulator import SimulationResult, Simulator
+from .engine.stats import SimStats
+from .errors import (
+    CapacityError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    ThrashingCrash,
+    WorkloadError,
+)
+from .workloads.base import Workload
+from .workloads.suite import BENCHMARKS, get_benchmark, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimConfig",
+    "SMConfig",
+    "UVMConfig",
+    "TLBConfig",
+    "TranslationConfig",
+    "WalkerConfig",
+    "MHPEConfig",
+    "HPEConfig",
+    "PatternBufferConfig",
+    # simulation
+    "Simulator",
+    "SimulationResult",
+    "SimStats",
+    # workloads
+    "Workload",
+    "BENCHMARKS",
+    "get_benchmark",
+    "make_workload",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "CapacityError",
+    "SimulationError",
+    "WorkloadError",
+    "ThrashingCrash",
+]

@@ -1,0 +1,20 @@
+"""Metrics and characterisation utilities used by the experiment harness."""
+
+from .metrics import geomean, mean, normalize_to, speedup, OverheadReport, overhead_report
+from .classify import untouch_profile, classify_untouch_category
+from .sweep import SweepPoint, SweepResult, capacity_sweep, find_knee
+
+__all__ = [
+    "geomean",
+    "mean",
+    "normalize_to",
+    "speedup",
+    "OverheadReport",
+    "overhead_report",
+    "untouch_profile",
+    "classify_untouch_category",
+    "SweepPoint",
+    "SweepResult",
+    "capacity_sweep",
+    "find_knee",
+]

@@ -1,0 +1,63 @@
+"""Untouch-level characterisation (Section IV-B and Tables III/IV).
+
+The paper classifies applications into High-/Medium-/Low-Untouch from the
+untouch level of chunks evicted during the first few intervals after memory
+fills.  These helpers compute the same statistics from a finished run's
+interval records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..engine.simulator import SimulationResult
+
+__all__ = ["UntouchProfile", "untouch_profile", "classify_untouch_category"]
+
+
+@dataclass(frozen=True)
+class UntouchProfile:
+    """Untouch statistics for one run, mirroring Tables III and IV."""
+
+    workload: str
+    oversubscription: float
+    #: Per-interval untouch totals for intervals with eviction activity.
+    per_interval: List[int]
+    #: Max per-interval untouch level over the first four active intervals
+    #: (Table III statistic).
+    max_first_four: int
+    #: Total untouch level over the first four active intervals (Table IV).
+    total_first_four: int
+
+
+def untouch_profile(result: SimulationResult) -> UntouchProfile:
+    """Extract the Table III/IV statistics from a run.
+
+    Only intervals with eviction activity count ("the first four intervals"
+    of the paper start once memory has filled and evictions begin).
+    """
+    active = [r for r in result.stats.intervals if r.chunks_evicted > 0]
+    per_interval = [r.untouch_total for r in active]
+    head = per_interval[:4]
+    return UntouchProfile(
+        workload=result.workload,
+        oversubscription=result.oversubscription or 1.0,
+        per_interval=per_interval,
+        max_first_four=max(head, default=0),
+        total_first_four=sum(head),
+    )
+
+
+def classify_untouch_category(profile: UntouchProfile, t1: int = 32, t2: int = 40) -> str:
+    """Classify a profile into the paper's three categories.
+
+    * ``high-untouch``   — some early interval reaches T1 (LRU wins);
+    * ``medium-untouch`` — cumulative early untouch reaches T2 (LRU wins);
+    * ``low-untouch``    — neither (MRU wins for thrashing patterns).
+    """
+    if profile.max_first_four >= t1:
+        return "high-untouch"
+    if profile.total_first_four >= t2:
+        return "medium-untouch"
+    return "low-untouch"

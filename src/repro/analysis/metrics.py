@@ -1,0 +1,109 @@
+"""Headline metrics: speedups, means, and the Section VI-C overhead model.
+
+The overhead model reproduces the paper's storage-cost arithmetic: each
+structure entry is a 12-byte (tag 8 B + bit-vector 4 B) record; the three
+structures are the chunk chain, the evicted-chunk buffer, and the pattern
+buffer.  Section VI-C reports, averaged over the suite, 731 / 559 entries
+(8.6 / 6.6 KB) at 75% / 50% oversubscription.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..engine.simulator import SimulationResult
+from ..errors import SimulationError
+
+__all__ = [
+    "speedup",
+    "geomean",
+    "mean",
+    "normalize_to",
+    "ENTRY_BYTES",
+    "OverheadReport",
+    "overhead_report",
+]
+
+#: Bytes per structure entry (8-byte chunk tag + 4-byte bit set), Section VI-C.
+ENTRY_BYTES = 12
+
+
+def speedup(candidate: SimulationResult, baseline: SimulationResult) -> float:
+    """Runtime speedup of ``candidate`` over ``baseline``."""
+    return candidate.speedup_over(baseline)
+
+
+def mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize_to(values: Sequence[float], reference: float) -> List[float]:
+    """Normalise a series to a reference value (reference maps to 1.0)."""
+    if reference == 0:
+        raise ValueError("cannot normalise to zero")
+    return [v / reference for v in values]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Storage overhead of CPPE's three structures for one run."""
+
+    workload: str
+    oversubscription: float
+    chain_entries: int
+    evicted_buffer_entries: int
+    pattern_buffer_entries: int
+
+    @property
+    def total_entries(self) -> int:
+        return (
+            self.chain_entries
+            + self.evicted_buffer_entries
+            + self.pattern_buffer_entries
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_entries * ENTRY_BYTES
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1024.0
+
+    @property
+    def pattern_buffer_vs_chain(self) -> float:
+        """Pattern buffer length as a fraction of the chunk chain length
+        (the Section VI-C occupancy metric)."""
+        if self.chain_entries == 0:
+            return 0.0
+        return self.pattern_buffer_entries / self.chain_entries
+
+
+def overhead_report(result: SimulationResult) -> OverheadReport:
+    """Derive the Section VI-C structure-occupancy numbers from a run."""
+    if result.oversubscription is None:
+        raise SimulationError(
+            "overhead analysis applies to oversubscribed runs only"
+        )
+    stats = result.stats
+    return OverheadReport(
+        workload=result.workload,
+        oversubscription=result.oversubscription,
+        chain_entries=stats.chain_length_peak,
+        evicted_buffer_entries=stats.evicted_buffer_length,
+        pattern_buffer_entries=stats.pattern_buffer_peak,
+    )

@@ -1,0 +1,103 @@
+"""Capacity sweep: runtime vs oversubscription rate, with knee detection.
+
+The paper evaluates two operating points (75% and 50%).  This utility
+generalises that to a full curve — useful to locate the working-set knee of
+an application under a given policy pair, and to compare how gracefully
+different setups degrade (see ``examples/oversubscription_sweep.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.simulator import Simulator
+from ..errors import ReproError
+from ..harness.baselines import build_setup
+from ..workloads.suite import make_workload
+
+__all__ = ["SweepPoint", "SweepResult", "capacity_sweep", "find_knee"]
+
+DEFAULT_RATES: Tuple[float, ...] = (1.0, 0.9, 0.8, 0.75, 0.6, 0.5, 0.4)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (rate, outcome) sample of the curve."""
+
+    rate: float
+    cycles: int
+    slowdown: float  # relative to the unconstrained run
+    far_faults: int
+    chunks_evicted: int
+    crashed: bool = False
+
+
+@dataclass
+class SweepResult:
+    """A full capacity-sweep curve for one app under one setup."""
+
+    app: str
+    setup: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def slowdown_at(self, rate: float) -> float:
+        for p in self.points:
+            if abs(p.rate - rate) < 1e-9:
+                return p.slowdown
+        raise ReproError(f"rate {rate} not in sweep for {self.app}")
+
+    def as_series(self) -> Dict[str, float]:
+        return {f"{p.rate:.0%}": p.slowdown for p in self.points}
+
+
+def capacity_sweep(
+    app: str,
+    setup: str = "baseline",
+    rates: Sequence[float] = DEFAULT_RATES,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+) -> SweepResult:
+    """Run ``app`` under ``setup`` across capacity rates.
+
+    Rates must include 1.0 (or it is added) — the unconstrained run anchors
+    the slowdown normalisation.
+    """
+    rates = sorted(set(rates) | {1.0}, reverse=True)
+    result = SweepResult(app=app, setup=setup)
+    reference_cycles: Optional[int] = None
+    for rate in rates:
+        policy, prefetcher = build_setup(setup)
+        sim_result = Simulator(
+            make_workload(app, scale=scale, seed=seed),
+            policy=policy,
+            prefetcher=prefetcher,
+            oversubscription=None if rate >= 1.0 else rate,
+        ).run()
+        if rate >= 1.0:
+            reference_cycles = sim_result.total_cycles
+        assert reference_cycles is not None
+        result.points.append(
+            SweepPoint(
+                rate=rate,
+                cycles=sim_result.total_cycles,
+                slowdown=sim_result.total_cycles / reference_cycles,
+                far_faults=sim_result.stats.far_faults,
+                chunks_evicted=sim_result.stats.chunks_evicted,
+                crashed=sim_result.crashed,
+            )
+        )
+    return result
+
+
+def find_knee(sweep: SweepResult, threshold: float = 1.5) -> Optional[float]:
+    """The largest rate at which slowdown exceeds ``threshold``.
+
+    Returns None when the application never crosses the threshold (its
+    working set fits at every tested rate).  For thrashing applications the
+    knee sits near the working-set size; for streaming ones there is none.
+    """
+    for point in sweep.points:  # sorted by descending rate
+        if point.slowdown >= threshold:
+            return point.rate
+    return None

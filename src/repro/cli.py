@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+========
+
+``list``
+    The 23-application suite with footprints and pattern types (Table II).
+``run APP``
+    One simulation; prints the stats summary (optionally as JSON).
+``figure {fig3,fig4,fig7,fig8,fig9,fig10}``
+    Regenerate one of the paper's figures.
+``table {table3,table4,overhead,sensitivity-fd,sensitivity-t3}``
+    Regenerate one of the paper's tables / sensitivity studies.
+``suite``
+    Baseline-vs-CPPE speedups for the whole suite at one rate.
+``trace``
+    Characterise a suite application's trace, or export it as ``.npz`` for
+    use outside the harness (and for bring-your-own-trace round trips).
+``sweep``
+    Capacity sweep for one application: slowdown vs oversubscription rate,
+    with working-set knee detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .harness import figures as figures_mod
+from .harness import tables as tables_mod
+from .harness.baselines import SETUPS
+from .harness.experiment import RunSpec, run_one
+from .harness.report import render_table
+from .workloads.suite import BENCHMARKS
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig3": figures_mod.fig3,
+    "fig4": figures_mod.fig4,
+    "fig7": figures_mod.fig7,
+    "fig8": figures_mod.fig8,
+    "fig9": figures_mod.fig9,
+    "fig10": figures_mod.fig10,
+}
+
+_TABLES = {
+    "table3": tables_mod.table3,
+    "table4": tables_mod.table4,
+    "overhead": tables_mod.overhead,
+    "sensitivity-fd": tables_mod.sensitivity_fd,
+    "sensitivity-t3": tables_mod.sensitivity_t3,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CPPE reproduction: GPU memory oversubscription simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite (Table II)")
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("app", help="benchmark abbreviation, e.g. SRD")
+    run_p.add_argument(
+        "--setup", default="cppe", choices=sorted(SETUPS),
+        help="named policy+prefetcher pair (default: cppe)",
+    )
+    run_p.add_argument(
+        "--rate", type=float, default=0.5,
+        help="oversubscription rate (0 < rate <= 1); 1 disables eviction",
+    )
+    run_p.add_argument("--scale", type=float, default=1.0,
+                       help="footprint scale factor")
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the stats summary as JSON")
+    run_p.add_argument(
+        "--baseline", default=None, choices=sorted(SETUPS),
+        help="also run this setup and report the speedup over it",
+    )
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("name", choices=sorted(_FIGURES))
+    fig_p.add_argument("--apps", nargs="*", default=None)
+    fig_p.add_argument("--scale", type=float, default=1.0)
+
+    tab_p = sub.add_parser("table", help="regenerate a paper table")
+    tab_p.add_argument("name", choices=sorted(_TABLES))
+    tab_p.add_argument("--apps", nargs="*", default=None)
+    tab_p.add_argument("--scale", type=float, default=1.0)
+
+    suite_p = sub.add_parser("suite", help="baseline vs CPPE over the suite")
+    suite_p.add_argument("--rate", type=float, default=0.5)
+    suite_p.add_argument("--setup", default="cppe", choices=sorted(SETUPS))
+    suite_p.add_argument("--scale", type=float, default=1.0)
+
+    trace_p = sub.add_parser("trace", help="profile or export an app's trace")
+    trace_p.add_argument("app")
+    trace_p.add_argument("--scale", type=float, default=1.0)
+    trace_p.add_argument("--save", metavar="PATH", default=None,
+                         help="write the trace as .npz instead of profiling")
+
+    sweep_p = sub.add_parser("sweep", help="capacity sweep for one app")
+    sweep_p.add_argument("app")
+    sweep_p.add_argument("--setup", default="baseline", choices=sorted(SETUPS))
+    sweep_p.add_argument("--rates", nargs="*", type=float, default=None)
+    sweep_p.add_argument("--scale", type=float, default=1.0)
+    sweep_p.add_argument("--knee-threshold", type=float, default=1.5)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        [s.abbr, s.full_name, s.suite, s.pattern_type, s.footprint_pages,
+         s.generator, s.distribution]
+        for s in BENCHMARKS.values()
+    ]
+    print(
+        render_table(
+            ["abbr", "name", "suite", "type", "pages", "generator", "mapping"],
+            rows,
+            title="Workload suite (Table II, footprints scaled; see DESIGN.md)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    rate = None if args.rate >= 1.0 else args.rate
+    result = run_one(
+        RunSpec(args.app, args.setup, rate, scale=args.scale, seed=args.seed)
+    )
+    if args.json:
+        payload = {
+            "workload": result.workload,
+            "setup": args.setup,
+            "oversubscription": rate,
+            "crashed": result.crashed,
+            **result.stats.summary(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = sorted(result.stats.summary().items())
+        print(render_table(["metric", "value"], rows, title=result.label()))
+    if args.baseline:
+        base = run_one(
+            RunSpec(args.app, args.baseline, rate, scale=args.scale,
+                    seed=args.seed)
+        )
+        print(f"speedup over {args.baseline}: "
+              f"{result.speedup_over(base):.2f}x")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    kwargs = {"scale": args.scale}
+    if args.apps:
+        kwargs["apps"] = args.apps
+    print(_FIGURES[args.name](**kwargs).render())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    kwargs = {"scale": args.scale}
+    if args.apps:
+        if args.name.startswith("sensitivity"):
+            print("note: --apps is ignored for sensitivity studies",
+                  file=sys.stderr)
+        else:
+            kwargs["apps"] = args.apps
+    print(_TABLES[args.name](**kwargs).render())
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    rate = None if args.rate >= 1.0 else args.rate
+    rows = []
+    for app in BENCHMARKS:
+        base = run_one(RunSpec(app, "baseline", rate, scale=args.scale))
+        cand = run_one(RunSpec(app, args.setup, rate, scale=args.scale))
+        if base.crashed or cand.crashed:
+            rows.append([app, BENCHMARKS[app].pattern_type, None,
+                         cand.stats.final_strategy])
+        else:
+            rows.append([app, BENCHMARKS[app].pattern_type,
+                         cand.speedup_over(base), cand.stats.final_strategy])
+        print(f"\r{len(rows)}/{len(BENCHMARKS)} done", end="", file=sys.stderr)
+    print(file=sys.stderr)
+    valid = [r[2] for r in rows if r[2] is not None]
+    rows.append(["(mean)", "", sum(valid) / len(valid), ""])
+    print(
+        render_table(
+            ["app", "type", f"{args.setup} speedup vs baseline", "strategy"],
+            rows,
+            title=f"suite at {args.rate:.0%} oversubscription",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .workloads.suite import make_workload
+    from .workloads.trace_io import profile_trace, save_trace
+
+    workload = make_workload(args.app, scale=args.scale)
+    if args.save:
+        path = save_trace(workload, args.save)
+        print(f"wrote {workload.num_accesses} accesses to {path}")
+        return 0
+    profile = profile_trace(workload)
+    rows = sorted(profile.summary().items())
+    print(render_table(["property", "value"], rows,
+                       title=f"trace profile: {args.app}"))
+    print(f"working set per quarter: {profile.quarter_working_sets}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweep import DEFAULT_RATES, capacity_sweep, find_knee
+
+    rates = tuple(args.rates) if args.rates else DEFAULT_RATES
+    sweep = capacity_sweep(args.app, args.setup, rates=rates, scale=args.scale)
+    rows = [
+        [f"{p.rate:.0%}", p.slowdown, p.far_faults, p.chunks_evicted,
+         "crashed" if p.crashed else ""]
+        for p in sweep.points
+    ]
+    print(render_table(
+        ["capacity", "slowdown", "faults", "evictions", ""],
+        rows,
+        title=f"{args.app} under {args.setup}: slowdown vs capacity",
+    ))
+    knee = find_knee(sweep, args.knee_threshold)
+    if knee is None:
+        print(f"no knee above {args.knee_threshold:.1f}x within tested rates")
+    else:
+        print(f"working-set knee (slowdown >= {args.knee_threshold:.1f}x) "
+              f"at {knee:.0%} capacity")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""CPPE — the paper's primary contribution."""
+
+from .cppe import CPPE
+
+__all__ = ["CPPE"]

@@ -1,0 +1,59 @@
+"""CPPE: Coordinated Page Prefetch and Eviction (Section IV).
+
+CPPE is the *pairing* of MHPE with the access pattern-aware prefetcher,
+coordinated in a fine-grained manner:
+
+* **eviction → prefetch**: every chunk MHPE evicts reports its touch
+  bit-vector; chunks with untouch level >= 8 (and, by default, only once
+  the eviction strategy has switched to LRU) populate the prefetcher's
+  pattern buffer;
+* **prefetch → eviction**: MHPE evicts chunks at prefetch granularity and
+  classifies the application from what the prefetcher brought in but the
+  kernel never touched.
+
+The wiring itself lives in the GMMU (`on_chunk_evicted` carries the touch
+mask and the policy's current strategy to the prefetcher); this module
+provides the canonical way to construct the coordinated pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import MHPEConfig, PatternBufferConfig
+from ..policies.mhpe import MHPEPolicy
+from ..prefetch.pattern_aware import PatternAwarePrefetcher
+
+__all__ = ["CPPE"]
+
+
+@dataclass
+class CPPE:
+    """The coordinated MHPE + pattern-aware-prefetcher pair."""
+
+    policy: MHPEPolicy
+    prefetcher: PatternAwarePrefetcher
+
+    @classmethod
+    def create(
+        cls,
+        mhpe_config: Optional[MHPEConfig] = None,
+        pattern_config: Optional[PatternBufferConfig] = None,
+    ) -> "CPPE":
+        """Build a fresh CPPE pair (one per simulation — both are stateful).
+
+        ``pattern_config`` selects, among other things, the pattern deletion
+        scheme (Scheme-2 by default, the paper's adopted choice).
+        """
+        return cls(
+            policy=MHPEPolicy(mhpe_config),
+            prefetcher=PatternAwarePrefetcher(pattern_config),
+        )
+
+    @classmethod
+    def scheme(cls, deletion_scheme: int) -> "CPPE":
+        """CPPE with a specific pattern-deletion scheme (Fig. 7 experiment)."""
+        return cls.create(
+            pattern_config=PatternBufferConfig(deletion_scheme=deletion_scheme)
+        )

@@ -1,0 +1,94 @@
+"""Deterministic discrete-event queue.
+
+A thin wrapper over :mod:`heapq` with a monotonically increasing sequence
+number to break time ties, making event ordering fully deterministic
+regardless of callback identity.  Callbacks are ``callable(time)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, seq)."""
+
+    time: int
+    seq: int
+    callback: Callable[[int], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time: int, callback: Callable[[int], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (must be >= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: int, callback: Callable[[int], None]) -> Event:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def pop(self) -> Optional[Event]:
+        """Pop and return the next non-cancelled event, advancing ``now``.
+
+        Returns ``None`` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue, dispatching callbacks.  Returns events dispatched.
+
+        ``max_events`` guards against runaway simulations.
+        """
+        dispatched = 0
+        while True:
+            if max_events is not None and dispatched >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {dispatched} events"
+                )
+            event = self.pop()
+            if event is None:
+                return dispatched
+            event.callback(event.time)
+            dispatched += 1

@@ -1,0 +1,149 @@
+"""Simulation statistics.
+
+Every counter the paper's evaluation consumes is collected here:
+
+* runtime (cycles) — speedup figures (Figs. 3, 7, 8, 9, 10);
+* chunk evictions — thrashing metric (Fig. 4);
+* per-interval untouch level / wrong evictions — Tables III & IV and the
+  forward-distance adjustment analysis;
+* structure occupancy (chunk chain, evicted-chunk buffer, pattern buffer) —
+  the overhead analysis of Section VI-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["IntervalRecord", "SimStats"]
+
+
+@dataclass
+class IntervalRecord:
+    """Per-interval policy telemetry (one interval = 64 pages migrated)."""
+
+    index: int
+    end_time: int = 0
+    untouch_total: int = 0
+    wrong_evictions: int = 0
+    chunks_evicted: int = 0
+    faults: int = 0
+    strategy: str = ""
+    forward_distance: int = 0
+
+
+@dataclass
+class SimStats:
+    """Mutable statistics bag shared by all simulator components."""
+
+    # --- execution ---
+    total_cycles: int = 0
+    accesses: int = 0
+    writes: int = 0
+    sm_finish_times: Dict[int, int] = field(default_factory=dict)
+    sm_stall_events: int = 0
+
+    # --- translation ---
+    l1_tlb_hits: int = 0
+    l1_tlb_misses: int = 0
+    l2_tlb_hits: int = 0
+    l2_tlb_misses: int = 0
+    page_walks: int = 0
+    pwc_hits: int = 0
+    pwc_misses: int = 0
+    walker_queue_delay_cycles: int = 0
+    tlb_shootdowns: int = 0
+
+    # --- faults & migration ---
+    far_faults: int = 0
+    merged_faults: int = 0
+    fault_service_ops: int = 0
+    pages_migrated: int = 0
+    demand_pages: int = 0
+    prefetched_pages: int = 0
+    prefetched_pages_touched: int = 0
+    chunks_evicted: int = 0
+    pages_evicted: int = 0
+    dirty_pages_written_back: int = 0
+    bytes_host_to_device: int = 0
+    bytes_device_to_host: int = 0
+
+    # --- policy telemetry ---
+    wrong_evictions: int = 0
+    untouch_total: int = 0
+    intervals: List[IntervalRecord] = field(default_factory=list)
+    strategy_switch_time: Optional[int] = None
+    final_strategy: str = ""
+    forward_distance_history: List[int] = field(default_factory=list)
+
+    # --- pattern buffer ---
+    pattern_inserts: int = 0
+    pattern_hits: int = 0
+    pattern_mismatches: int = 0
+    pattern_deletions: int = 0
+    pattern_prefetches: int = 0
+    pattern_buffer_peak: int = 0
+
+    # --- structure occupancy (Section VI-C overhead analysis) ---
+    chain_length_peak: int = 0
+    evicted_buffer_length: int = 0
+    pattern_buffer_len_samples: List[int] = field(default_factory=list)
+
+    def record_interval(self, record: IntervalRecord) -> None:
+        self.intervals.append(record)
+
+    # --- derived metrics -------------------------------------------------
+
+    @property
+    def l1_tlb_hit_rate(self) -> float:
+        total = self.l1_tlb_hits + self.l1_tlb_misses
+        return self.l1_tlb_hits / total if total else 0.0
+
+    @property
+    def l2_tlb_hit_rate(self) -> float:
+        total = self.l2_tlb_hits + self.l2_tlb_misses
+        return self.l2_tlb_hits / total if total else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched pages that were touched before eviction."""
+        if self.prefetched_pages == 0:
+            return 0.0
+        return self.prefetched_pages_touched / self.prefetched_pages
+
+    @property
+    def avg_untouch_per_interval(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return sum(r.untouch_total for r in self.intervals) / len(self.intervals)
+
+    def max_untouch_first_n_intervals(self, n: int = 4) -> int:
+        """Max per-interval untouch level over the first ``n`` intervals
+        (the Table III statistic)."""
+        head = self.intervals[:n]
+        return max((r.untouch_total for r in head), default=0)
+
+    def total_untouch_first_n_intervals(self, n: int = 4) -> int:
+        """Cumulative untouch level over the first ``n`` intervals
+        (the Table IV statistic)."""
+        return sum(r.untouch_total for r in self.intervals[:n])
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers, for reporting/serialisation."""
+        return {
+            "total_cycles": self.total_cycles,
+            "accesses": self.accesses,
+            "far_faults": self.far_faults,
+            "fault_service_ops": self.fault_service_ops,
+            "pages_migrated": self.pages_migrated,
+            "prefetched_pages": self.prefetched_pages,
+            "prefetch_accuracy": round(self.prefetch_accuracy, 4),
+            "chunks_evicted": self.chunks_evicted,
+            "wrong_evictions": self.wrong_evictions,
+            "untouch_total": self.untouch_total,
+            "l1_tlb_hit_rate": round(self.l1_tlb_hit_rate, 4),
+            "l2_tlb_hit_rate": round(self.l2_tlb_hit_rate, 4),
+            "bytes_host_to_device": self.bytes_host_to_device,
+            "bytes_device_to_host": self.bytes_device_to_host,
+            "final_strategy": self.final_strategy,
+        }

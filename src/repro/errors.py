@@ -1,0 +1,41 @@
+"""Exception hierarchy for the CPPE reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """Device memory cannot satisfy an allocation request."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class WorkloadError(ReproError):
+    """A workload/trace definition is invalid."""
+
+
+class ThrashingCrash(SimulationError):
+    """Raised when a run exceeds its eviction budget (models the paper's
+    observation that MVT/BIC *crash* in the baseline due to severe thrashing).
+
+    The harness catches this and reports the configuration as ``crashed``
+    instead of producing a speedup number, mirroring the 'X' marks in
+    Fig. 10 of the paper.
+    """
+
+    def __init__(self, evictions: int, budget: int):
+        super().__init__(
+            f"runaway thrashing: {evictions} chunk evictions exceeded the "
+            f"crash budget of {budget}"
+        )
+        self.evictions = evictions
+        self.budget = budget

@@ -1,0 +1,30 @@
+"""Experiment harness: named configurations, runners, and per-figure/table
+regenerators for the paper's entire evaluation section."""
+
+from .baselines import (
+    POLICY_NAMES,
+    PREFETCHER_NAMES,
+    SETUPS,
+    build_policy,
+    build_prefetcher,
+    build_setup,
+)
+from .experiment import RunSpec, run_one, run_matrix
+from .report import render_table, render_series
+from . import figures, tables
+
+__all__ = [
+    "POLICY_NAMES",
+    "PREFETCHER_NAMES",
+    "SETUPS",
+    "build_policy",
+    "build_prefetcher",
+    "build_setup",
+    "RunSpec",
+    "run_one",
+    "run_matrix",
+    "render_table",
+    "render_series",
+    "figures",
+    "tables",
+]

@@ -1,0 +1,125 @@
+"""Named policy/prefetcher configurations used throughout the evaluation.
+
+The paper's comparison points:
+
+==================  ========================================================
+``baseline``        LRU pre-eviction + sequential-local prefetcher that
+                    keeps prefetching whole chunks when memory is full
+                    (the state-of-the-art software baseline of [16]).
+``cppe``            MHPE + pattern-aware prefetcher, Scheme-2 (the paper's
+                    adopted configuration).
+``cppe-s1``         CPPE with pattern deletion Scheme-1 (Fig. 7).
+``random``          Random eviction + naive locality prefetch (Figs. 3, 9).
+``lru-10`` /        Reserved LRU with the top 10% / 20% of the chain
+``lru-20``          protected + naive locality prefetch (Figs. 3, 9).
+``stop-on-full``    LRU + locality prefetch disabled once memory fills
+                    (the mitigation of [11], Fig. 10).
+``no-prefetch``     LRU + demand paging only.
+``hpe``             Counter-based HPE + naive locality prefetch (shows the
+                    counter-pollution inefficiency, Section III).
+``tree``            LRU + tree-based neighborhood prefetcher (extension).
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..config import PatternBufferConfig
+from ..errors import ConfigError
+from ..policies import (
+    EvictionPolicy,
+    HPEPolicy,
+    LRUPolicy,
+    MHPEPolicy,
+    RandomPolicy,
+    ReservedLRUPolicy,
+)
+from ..prefetch import (
+    DisabledPrefetcher,
+    LocalityPrefetcher,
+    PatternAwarePrefetcher,
+    Prefetcher,
+    TreeNeighborhoodPrefetcher,
+)
+
+__all__ = [
+    "POLICY_NAMES",
+    "PREFETCHER_NAMES",
+    "SETUPS",
+    "build_policy",
+    "build_prefetcher",
+    "build_setup",
+]
+
+_POLICY_BUILDERS: Dict[str, Callable[[], EvictionPolicy]] = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+    "lru-10": lambda: ReservedLRUPolicy(0.10),
+    "lru-20": lambda: ReservedLRUPolicy(0.20),
+    "hpe": HPEPolicy,
+    "mhpe": MHPEPolicy,
+}
+
+_PREFETCHER_BUILDERS: Dict[str, Callable[[], Prefetcher]] = {
+    "none": DisabledPrefetcher,
+    "locality": lambda: LocalityPrefetcher("continue"),
+    "locality-stop": lambda: LocalityPrefetcher("stop"),
+    "tree": lambda: TreeNeighborhoodPrefetcher(),
+    "pattern-s1": lambda: PatternAwarePrefetcher(
+        PatternBufferConfig(deletion_scheme=1)
+    ),
+    "pattern-s2": lambda: PatternAwarePrefetcher(
+        PatternBufferConfig(deletion_scheme=2)
+    ),
+}
+
+POLICY_NAMES = tuple(sorted(_POLICY_BUILDERS))
+PREFETCHER_NAMES = tuple(sorted(_PREFETCHER_BUILDERS))
+
+#: Named (policy, prefetcher) pairs — the units the figures compare.
+SETUPS: Dict[str, Tuple[str, str]] = {
+    "baseline": ("lru", "locality"),
+    "cppe": ("mhpe", "pattern-s2"),
+    "cppe-s1": ("mhpe", "pattern-s1"),
+    "random": ("random", "locality"),
+    "lru-10": ("lru-10", "locality"),
+    "lru-20": ("lru-20", "locality"),
+    "stop-on-full": ("lru", "locality-stop"),
+    "no-prefetch": ("lru", "none"),
+    "hpe": ("hpe", "locality"),
+    "tree": ("lru", "tree"),
+    "mhpe-naive": ("mhpe", "locality"),  # ablation: eviction half only
+    "lru-pattern": ("lru", "pattern-s2"),  # ablation: prefetch half only
+}
+
+
+def build_policy(name: str) -> EvictionPolicy:
+    """Construct a fresh policy instance by its harness name."""
+    try:
+        return _POLICY_BUILDERS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}"
+        ) from None
+
+
+def build_prefetcher(name: str) -> Prefetcher:
+    """Construct a fresh prefetcher instance by its harness name."""
+    try:
+        return _PREFETCHER_BUILDERS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown prefetcher {name!r}; known: {', '.join(PREFETCHER_NAMES)}"
+        ) from None
+
+
+def build_setup(name: str) -> Tuple[EvictionPolicy, Prefetcher]:
+    """Construct the named (policy, prefetcher) pair, freshly instantiated."""
+    try:
+        policy_name, prefetcher_name = SETUPS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown setup {name!r}; known: {', '.join(sorted(SETUPS))}"
+        ) from None
+    return build_policy(policy_name), build_prefetcher(prefetcher_name)

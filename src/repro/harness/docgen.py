@@ -1,0 +1,184 @@
+"""Generate EXPERIMENTS.md: paper-reported vs measured, per table/figure.
+
+``python -m repro.harness.docgen [OUTPUT] [--scale S] [--json-dir DIR]``
+
+Runs every artifact of the evaluation at full scale (a few minutes), pairs
+each with the corresponding claim from the paper, and writes the comparison
+document.  Artifacts are also archived as JSON for provenance when
+``--json-dir`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from ..analysis.metrics import mean
+from . import figures, tables
+from .store import save_artifact
+
+__all__ = ["generate", "main"]
+
+#: The paper's reported values, quoted verbatim where possible.
+PAPER_CLAIMS = {
+    "fig3": (
+        "Reserved LRU (top 20%) gains at most 11% on the thrashing apps, is "
+        "sometimes below Random (SRD, STN), and loses up to 53% on B+T/HYB; "
+        "on average it is worse than LRU and Random for these applications."
+    ),
+    "fig4": (
+        "Prefetching once memory is full inflates evictions: SAD and NW by "
+        "about an order of magnitude; MVT and BIC crash; all other "
+        "applications stay within 20%."
+    ),
+    "fig7": (
+        "Scheme-1 and Scheme-2 are similar for MVT/SPV/B+T/BIC/SAD; "
+        "Scheme-2 wins where chunks carry a fixed stride (NW, HIS); "
+        "Scheme-1 wins where chunks populate slowly (BFS, HWL); Scheme-2 "
+        "averages 3%/7% better at 75%/50% and is adopted."
+    ),
+    "fig8": (
+        "CPPE averages 1.56x/1.64x over the baseline at 75%/50% (up to "
+        "10.97x); ~1x for Types I and VI; large wins for Type IV and the "
+        "severe thrashers SAD/HIS/NW; MVT/BIC crash in the baseline but "
+        "complete under CPPE."
+    ),
+    "fig9": (
+        "Random and reserved LRU (10%/20%) improve thrashing types but "
+        "never beat CPPE; LRU-10% loses 27% on Type VI at 50%; changing "
+        "only the eviction policy does not fix the baseline."
+    ),
+    "fig10": (
+        "Disabling prefetch when memory fills slows regular applications by "
+        "up to 85%; it helps only SAD (at 50%), NW, MVT and BIC; CPPE beats "
+        "disabling for every application except SAD."
+    ),
+    "table3": (
+        "Max per-interval untouch level in the first four intervals ranges "
+        "0..60; Types II/III/V/VI are high, Types I/IV low; T1=32 keeps "
+        "MRU-friendly apps (HSD, LEU, SRD) on MRU."
+    ),
+    "table4": (
+        "Cumulative first-four-interval untouch for the remaining apps; "
+        "T2=40 separates HSD (37/30) from the LRU-favouring applications."
+    ),
+    "sensitivity-fd": (
+        "Regular applications' untouch level drops sharply once the forward "
+        "distance reaches 2; above 8 irregular applications drop too, so "
+        "the usable range is 2..8."
+    ),
+    "sensitivity-t3": (
+        "Sweeping the forward-distance limit over 16..40 (stride 4) on "
+        "SRD/HSD/MRQ, 32 has the best average performance."
+    ),
+    "overhead": (
+        "On average 731/559 structure entries (8.6/6.6 KB) at 75%/50%; "
+        "evicted-chunk buffer 73/51 entries; pattern buffer 37.2%/88.7% of "
+        "the chain length.  All structures live in host memory."
+    ),
+}
+
+_GENERATORS: List = [
+    ("fig3", lambda scale: figures.fig3(scale=scale)),
+    ("fig4", lambda scale: figures.fig4(scale=scale)),
+    ("fig7", lambda scale: figures.fig7(scale=scale)),
+    ("fig8", lambda scale: figures.fig8(scale=scale)),
+    ("fig9", lambda scale: figures.fig9(scale=scale)),
+    ("fig10", lambda scale: figures.fig10(scale=scale)),
+    ("table3", lambda scale: tables.table3(scale=scale)),
+    ("table4", lambda scale: tables.table4(scale=scale)),
+    ("sensitivity-fd", lambda scale: tables.sensitivity_fd(scale=scale)),
+    ("sensitivity-t3", lambda scale: tables.sensitivity_t3(scale=scale)),
+    ("overhead", lambda scale: tables.overhead(scale=scale)),
+]
+
+
+def _headline(name: str, artifact) -> str:
+    """A one-line measured headline for the comparison table."""
+    if name == "fig8":
+        avg75 = mean(v for v in artifact.series["cppe@75%"].values() if v)
+        avg50 = mean(v for v in artifact.series["cppe@50%"].values() if v)
+        peak = max(
+            v for s in artifact.series.values() for v in s.values() if v
+        )
+        return f"measured averages {avg75:.2f}x / {avg50:.2f}x, up to {peak:.2f}x"
+    if name == "fig4":
+        ratios = artifact.series["eviction-ratio"]
+        worst = max(ratios, key=ratios.get)
+        return f"worst blow-up {worst} at {ratios[worst]:.1f}x; {len(ratios)} apps above 1.2x"
+    if hasattr(artifact, "averages") and artifact.averages:
+        parts = [f"{k}={v:.2f}" for k, v in sorted(artifact.averages.items())
+                 if "mean" in k][:4]
+        return "; ".join(parts)
+    if hasattr(artifact, "rows"):
+        return f"{len(artifact.rows)} rows"
+    return ""
+
+
+def generate(
+    output: Path,
+    scale: float = 1.0,
+    json_dir: Optional[Path] = None,
+    names: Optional[List[str]] = None,
+    log: Callable[[str], None] = lambda s: print(s, file=sys.stderr),
+) -> Path:
+    """Run every artifact and write the EXPERIMENTS.md comparison."""
+    sections = []
+    summary_rows = []
+    for name, gen in _GENERATORS:
+        if names and name not in names:
+            continue
+        start = time.time()
+        log(f"running {name} ...")
+        artifact = gen(scale)
+        elapsed = time.time() - start
+        log(f"  done in {elapsed:.0f}s")
+        if json_dir is not None:
+            save_artifact(artifact, Path(json_dir) / f"{name}.json")
+        headline = _headline(name, artifact)
+        summary_rows.append((name, headline))
+        sections.append(
+            f"## {name}\n\n"
+            f"**Paper:** {PAPER_CLAIMS[name]}\n\n"
+            f"**Measured:** {headline or 'see artifact below'}\n\n"
+            "```\n" + artifact.render() + "\n```\n"
+        )
+
+    header = (
+        "# EXPERIMENTS — paper-reported vs measured\n\n"
+        "Generated by `python -m repro.harness.docgen` against the synthetic\n"
+        "workload suite (footprints scaled 1/4 with a 1024-page floor; see\n"
+        "DESIGN.md for the substitution argument).  Absolute numbers are not\n"
+        "expected to match the authors' GPGPU-Sim testbed; the *shape* —\n"
+        "who wins, by roughly what factor, and where the crossovers fall —\n"
+        "is the reproduction target.\n\n"
+        f"Workload scale: {scale}.\n\n"
+        "## Summary\n\n"
+        "| artifact | measured headline |\n|---|---|\n"
+        + "\n".join(f"| {n} | {h} |" for n, h in summary_rows)
+        + "\n\n"
+    )
+    output = Path(output)
+    output.write_text(header + "\n".join(sections))
+    log(f"wrote {output}")
+    return output
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--json-dir", type=Path, default=None)
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="generate only these artifacts")
+    args = parser.parse_args(argv)
+    generate(Path(args.output), scale=args.scale, json_dir=args.json_dir,
+             names=args.only)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

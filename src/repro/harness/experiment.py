@@ -1,0 +1,91 @@
+"""Experiment runner: declarative run specs + an in-process result cache.
+
+Figures share many runs (e.g. the baseline at 50% appears in Figs. 8, 9 and
+10); ``run_matrix`` memoises on the spec key so each configuration simulates
+once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..config import SimConfig
+from ..engine.simulator import SimulationResult, Simulator
+from ..workloads.suite import make_workload
+from .baselines import build_setup
+
+__all__ = ["RunSpec", "run_one", "run_matrix", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation to run: application x setup x oversubscription."""
+
+    app: str
+    setup: str  # a key of harness.baselines.SETUPS
+    oversubscription: Optional[float]
+    scale: float = 1.0
+    seed: Optional[int] = None
+    #: Enable the runaway-thrashing crash model with this eviction budget
+    #: (multiples of the footprint's chunk count); None disables it.
+    crash_budget_factor: Optional[float] = None
+
+    def key(self) -> Tuple:
+        return (
+            self.app,
+            self.setup,
+            self.oversubscription,
+            self.scale,
+            self.seed,
+            self.crash_budget_factor,
+        )
+
+
+_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised results (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def run_one(
+    spec: RunSpec, config: Optional[SimConfig] = None, use_cache: bool = True
+) -> SimulationResult:
+    """Run (or fetch from cache) a single simulation."""
+    cache_key = (spec.key(), id(config) if config is not None else None)
+    if use_cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+
+    cfg = config or SimConfig()
+    if spec.crash_budget_factor is not None:
+        cfg = cfg.with_(
+            uvm=replace(
+                cfg.uvm, crash_eviction_budget_factor=spec.crash_budget_factor
+            )
+        )
+    workload = make_workload(spec.app, scale=spec.scale, seed=spec.seed)
+    policy, prefetcher = build_setup(spec.setup)
+    result = Simulator(
+        workload,
+        policy=policy,
+        prefetcher=prefetcher,
+        oversubscription=spec.oversubscription,
+        config=cfg,
+    ).run()
+    if use_cache:
+        _CACHE[cache_key] = result
+    return result
+
+
+def run_matrix(
+    specs: Iterable[RunSpec],
+    config: Optional[SimConfig] = None,
+    use_cache: bool = True,
+) -> Dict[Tuple, SimulationResult]:
+    """Run a batch of specs; returns {spec.key(): result}."""
+    results: Dict[Tuple, SimulationResult] = {}
+    for spec in specs:
+        results[spec.key()] = run_one(spec, config=config, use_cache=use_cache)
+    return results

@@ -1,0 +1,320 @@
+"""Regenerators for every figure in the paper's evaluation (Figs. 3-10).
+
+Each ``figN`` function runs the simulations that figure needs (memoised per
+process) and returns a :class:`FigureResult` whose ``series`` holds the same
+normalised numbers the paper plots and whose ``render()`` produces a
+terminal-friendly view.  ``apps``/``rates``/``scale`` let tests regenerate a
+cheap subset; the benchmarks run the full configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.metrics import geomean, mean
+from ..workloads.suite import BENCHMARKS, FIG3_APPS
+from .experiment import RunSpec, run_one
+from .report import render_series, render_table
+
+__all__ = [
+    "FigureResult",
+    "fig3",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+]
+
+Series = Dict[str, Dict[str, Optional[float]]]
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one figure regeneration."""
+
+    name: str
+    description: str
+    series: Series
+    averages: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.name}: {self.description} =="]
+        parts.append(render_series(self.series))
+        if self.averages:
+            parts.append(
+                render_table(
+                    ["series", "average"],
+                    sorted(self.averages.items()),
+                    title="averages",
+                )
+            )
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+def _all_apps() -> List[str]:
+    return list(BENCHMARKS)
+
+
+def _speedup_series(
+    apps: Sequence[str],
+    setups: Sequence[str],
+    reference_setup: str,
+    rate: float,
+    scale: float,
+    crash_budget: Optional[float] = None,
+) -> Series:
+    """Speedups of each setup over ``reference_setup``, per app at ``rate``.
+
+    Crashed runs yield ``None`` entries (either side).
+    """
+    series: Series = {s: {} for s in setups}
+    for app in apps:
+        ref = run_one(
+            RunSpec(app, reference_setup, rate, scale=scale,
+                    crash_budget_factor=crash_budget)
+        )
+        for setup in setups:
+            cand = run_one(
+                RunSpec(app, setup, rate, scale=scale,
+                        crash_budget_factor=crash_budget)
+            )
+            if ref.crashed or cand.crashed:
+                series[setup][app] = None
+            else:
+                series[setup][app] = cand.speedup_over(ref)
+    return series
+
+
+def _avg(series: Series) -> Dict[str, float]:
+    out = {}
+    for name, points in series.items():
+        vals = [v for v in points.values() if v is not None]
+        if vals:
+            out[f"{name} (mean)"] = mean(vals)
+            out[f"{name} (geomean)"] = geomean(vals)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — LRU vs Random vs reserved LRU (motivation, Inefficiency 2)
+# ---------------------------------------------------------------------------
+
+def fig3(
+    apps: Optional[Sequence[str]] = None,
+    rate: float = 0.5,
+    scale: float = 1.0,
+) -> FigureResult:
+    """LRU / Random / LRU-20% with the naive locality prefetcher at 50%
+    oversubscription, normalised to LRU, for the thrashing + irregular apps."""
+    apps = list(apps or FIG3_APPS)
+    series = _speedup_series(apps, ["random", "lru-20"], "baseline", rate, scale)
+    return FigureResult(
+        name="fig3",
+        description=(
+            "Random and reserved LRU (top 20%) vs LRU, all with the naive "
+            f"locality prefetcher, {rate:.0%} oversubscription"
+        ),
+        series=series,
+        averages=_avg(series),
+        notes=[
+            "paper: reserved LRU gains at most 11% on thrashing apps and "
+            "loses up to 53% on B+T/HYB; on average it is worse than both "
+            "LRU and Random for these applications",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — thrashing from prefetching once memory is full (Inefficiency 3)
+# ---------------------------------------------------------------------------
+
+def fig4(
+    apps: Optional[Sequence[str]] = None,
+    rate: float = 0.5,
+    scale: float = 1.0,
+    threshold: float = 1.2,
+) -> FigureResult:
+    """Chunk evictions with prefetch-always vs prefetch-off-when-full (both
+    LRU), reported as a ratio; the paper shows apps with ratio > 1.2."""
+    apps = list(apps or _all_apps())
+    ratios: Dict[str, Optional[float]] = {}
+    for app in apps:
+        always = run_one(RunSpec(app, "baseline", rate, scale=scale))
+        off = run_one(RunSpec(app, "stop-on-full", rate, scale=scale))
+        if off.stats.chunks_evicted == 0:
+            ratios[app] = None if always.stats.chunks_evicted == 0 else float("inf")
+        else:
+            ratios[app] = always.stats.chunks_evicted / off.stats.chunks_evicted
+    shown = {
+        app: r for app, r in ratios.items() if r is not None and r >= threshold
+    }
+    series: Series = {"eviction-ratio": shown}
+    return FigureResult(
+        name="fig4",
+        description=(
+            "eviction count: prefetch-always / prefetch-off-when-full "
+            f"(LRU, {rate:.0%} oversubscription); apps above {threshold}x"
+        ),
+        series=series,
+        averages=_avg(series),
+        notes=[
+            f"apps below the {threshold}x threshold (omitted, as in the "
+            f"paper): {sorted(set(ratios) - set(shown))}",
+            "paper: SAD and NW show ~10x; MVT and BIC crash outright "
+            "(reproduce with a crash budget via RunSpec.crash_budget_factor)",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — pattern deletion schemes
+# ---------------------------------------------------------------------------
+
+FIG7_APPS = ["MVT", "SPV", "B+T", "BIC", "SAD", "BFS", "NW", "HWL", "HIS"]
+
+
+def fig7(
+    apps: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+) -> FigureResult:
+    """CPPE with Scheme-1 vs Scheme-2 pattern deletion, normalised to the
+    baseline, for the applications whose chunks enter the pattern buffer."""
+    apps = list(apps or FIG7_APPS)
+    series: Series = {}
+    for rate in rates:
+        sub = _speedup_series(apps, ["cppe-s1", "cppe"], "baseline", rate, scale)
+        series[f"scheme-1@{rate:.0%}"] = sub["cppe-s1"]
+        series[f"scheme-2@{rate:.0%}"] = sub["cppe"]
+    return FigureResult(
+        name="fig7",
+        description="pattern deletion Scheme-1 vs Scheme-2 (CPPE vs baseline)",
+        series=series,
+        averages=_avg(series),
+        notes=[
+            "paper: Scheme-2 wins for fixed-stride apps (NW, HIS); Scheme-1 "
+            "wins for slow-populating chunks (BFS, HWL); Scheme-2 is 3%/7% "
+            "better on average at 75%/50% and is adopted",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — CPPE vs the baseline
+# ---------------------------------------------------------------------------
+
+def fig8(
+    apps: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+) -> FigureResult:
+    """CPPE speedup over the baseline for the full suite at 75% and 50%."""
+    apps = list(apps or _all_apps())
+    series: Series = {}
+    for rate in rates:
+        sub = _speedup_series(apps, ["cppe"], "baseline", rate, scale)
+        series[f"cppe@{rate:.0%}"] = sub["cppe"]
+    result = FigureResult(
+        name="fig8",
+        description="CPPE speedup over baseline (LRU + naive locality prefetch)",
+        series=series,
+        averages=_avg(series),
+        notes=[
+            "paper: 1.56x / 1.64x average at 75% / 50%, up to 10.97x; "
+            "MVT and BIC crash in the baseline and are omitted there "
+            "(our simulator completes them, with eviction blow-up instead)",
+        ],
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — other eviction policies vs CPPE
+# ---------------------------------------------------------------------------
+
+def fig9(
+    apps: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+) -> FigureResult:
+    """Random / LRU-10% / LRU-20% / CPPE normalised to the baseline."""
+    apps = list(apps or _all_apps())
+    series: Series = {}
+    for rate in rates:
+        sub = _speedup_series(
+            apps, ["random", "lru-10", "lru-20", "cppe"], "baseline", rate, scale
+        )
+        for setup, points in sub.items():
+            series[f"{setup}@{rate:.0%}"] = points
+    return FigureResult(
+        name="fig9",
+        description="other eviction policies (with naive prefetch) vs CPPE",
+        series=series,
+        averages=_avg(series),
+        notes=[
+            "paper: reserved LRU helps thrashing types but never beats CPPE "
+            "and hurts capacity-sensitive Type VI (LRU-10% loses 27% there "
+            "at 50%); changing the eviction policy alone does not fix the "
+            "baseline",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — disabling prefetch under oversubscription
+# ---------------------------------------------------------------------------
+
+FIG10_APPS = ["HOT", "2DC", "BKP", "KMN", "HSD", "SAD", "NW", "MVT", "BIC"]
+
+
+def fig10(
+    apps: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+    crash_budget: Optional[float] = None,
+) -> FigureResult:
+    """Prefetch-off-when-full and CPPE, both normalised to the naive
+    baseline.  With ``crash_budget`` set, baseline runs that blow past the
+    eviction budget crash (the paper's MVT/BIC 'X' marks) and normalisation
+    falls back to the prefetch-off run, as the paper does."""
+    apps = list(apps or FIG10_APPS)
+    series: Series = {}
+    notes = [
+        "paper: disabling prefetch costs up to 85% on regular apps, wins "
+        "only for severe thrashers (SAD@50%, NW, MVT, BIC); CPPE beats "
+        "disabling everywhere except SAD",
+    ]
+    for rate in rates:
+        stop_pts: Dict[str, Optional[float]] = {}
+        cppe_pts: Dict[str, Optional[float]] = {}
+        for app in apps:
+            base = run_one(
+                RunSpec(app, "baseline", rate, scale=scale,
+                        crash_budget_factor=crash_budget)
+            )
+            stop = run_one(RunSpec(app, "stop-on-full", rate, scale=scale))
+            cppe = run_one(RunSpec(app, "cppe", rate, scale=scale))
+            if base.crashed:
+                # Normalise to the prefetch-off run instead (paper's 'X').
+                stop_pts[app] = 1.0
+                cppe_pts[app] = cppe.speedup_over(stop)
+                notes.append(
+                    f"{app}@{rate:.0%}: baseline crashed "
+                    f"({base.crash_reason}); normalised to prefetch-off"
+                )
+            else:
+                stop_pts[app] = stop.speedup_over(base)
+                cppe_pts[app] = cppe.speedup_over(base)
+        series[f"stop-on-full@{rate:.0%}"] = stop_pts
+        series[f"cppe@{rate:.0%}"] = cppe_pts
+    return FigureResult(
+        name="fig10",
+        description="disabling prefetch when memory is full, vs baseline and CPPE",
+        series=series,
+        averages=_avg(series),
+        notes=notes,
+    )

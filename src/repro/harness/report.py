@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment outputs (tables and bar series).
+
+The paper's figures are bar charts; in a terminal reproduction the same
+information renders as rows of numbers plus a crude bar so the shape is
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    # Control characters would break the row alignment.
+    return " ".join(str(value).split()) or repr(str(value))
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Dict[str, Optional[float]]],
+    title: Optional[str] = None,
+    bar_scale: float = 20.0,
+    reference: float = 1.0,
+) -> str:
+    """Render {series_name: {x_label: value}} as grouped text bars.
+
+    ``None`` values (crashed runs) render as ``X``, mirroring the paper's
+    crash markers in Fig. 10.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    labels: List[str] = []
+    for points in series.values():
+        for label in points:
+            if label not in labels:
+                labels.append(label)
+    max_val = max(
+        (v for points in series.values() for v in points.values() if v is not None),
+        default=1.0,
+    )
+    scale = bar_scale / max(max_val, reference)
+    name_w = max((len(n) for n in series), default=4)
+    for label in labels:
+        lines.append(f"{label}:")
+        for name, points in series.items():
+            value = points.get(label)
+            if value is None:
+                lines.append(f"  {name.ljust(name_w)} {'X (crashed)'}")
+                continue
+            bar = "#" * max(1, int(round(value * scale)))
+            lines.append(f"  {name.ljust(name_w)} {value:6.2f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Persist experiment artifacts to JSON.
+
+The figure/table regenerators return structured objects; this module
+round-trips them through JSON so expensive regenerations can be archived
+(``benchmarks`` writes them via ``--benchmark-json``; ``docgen`` uses this
+store for EXPERIMENTS.md provenance).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ReproError
+from .figures import FigureResult
+from .tables import TableResult
+
+__all__ = ["save_artifact", "load_artifact"]
+
+Artifact = Union[FigureResult, TableResult]
+
+
+def _to_dict(artifact: Artifact) -> dict:
+    if isinstance(artifact, FigureResult):
+        return {
+            "kind": "figure",
+            "name": artifact.name,
+            "description": artifact.description,
+            "series": artifact.series,
+            "averages": artifact.averages,
+            "notes": artifact.notes,
+        }
+    if isinstance(artifact, TableResult):
+        return {
+            "kind": "table",
+            "name": artifact.name,
+            "description": artifact.description,
+            "headers": artifact.headers,
+            "rows": artifact.rows,
+            "notes": artifact.notes,
+        }
+    raise ReproError(f"not an artifact: {type(artifact).__name__}")
+
+
+def save_artifact(artifact: Artifact, path: Union[str, Path]) -> Path:
+    """Write an artifact to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_to_dict(artifact), indent=2, sort_keys=True))
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Artifact:
+    """Read an artifact previously written by :func:`save_artifact`."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("kind")
+    if kind == "figure":
+        return FigureResult(
+            name=data["name"],
+            description=data["description"],
+            series=data["series"],
+            averages=data.get("averages", {}),
+            notes=data.get("notes", []),
+        )
+    if kind == "table":
+        return TableResult(
+            name=data["name"],
+            description=data["description"],
+            headers=data["headers"],
+            rows=data["rows"],
+            notes=data.get("notes", []),
+        )
+    raise ReproError(f"unknown artifact kind {kind!r} in {path}")

@@ -1,0 +1,246 @@
+"""Regenerators for the paper's tables and sensitivity studies.
+
+* :func:`table3` — max per-interval untouch level in the first four active
+  intervals (Table III);
+* :func:`table4` — total untouch level in the first four active intervals
+  for applications whose Table III maximum is below T1 (Table IV);
+* :func:`sensitivity_fd` — untouch level vs fixed forward distance 1..10
+  (the Section IV-B study that picked the 2..8 range);
+* :func:`sensitivity_t3` — speedup vs the forward-distance limit T3 swept
+  16..40 (Section VI-A: 32 is best);
+* :func:`overhead` — structure entry counts / KB / buffer occupancy
+  (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.classify import untouch_profile
+from ..analysis.metrics import mean, overhead_report
+from ..config import MHPEConfig
+from ..engine.simulator import Simulator
+from ..policies.mhpe import MHPEPolicy
+from ..prefetch.locality import LocalityPrefetcher
+from ..workloads.suite import BENCHMARKS, make_workload
+from .experiment import RunSpec, run_one
+from .report import render_table
+
+__all__ = [
+    "TableResult",
+    "table3",
+    "table4",
+    "sensitivity_fd",
+    "sensitivity_t3",
+    "overhead",
+]
+
+
+@dataclass
+class TableResult:
+    """Structured output of one table regeneration."""
+
+    name: str
+    description: str
+    headers: List[str]
+    rows: List[List]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = render_table(
+            self.headers, self.rows, title=f"== {self.name}: {self.description} =="
+        )
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+    def as_dict(self) -> Dict[Tuple, object]:
+        """{(first columns...): last column} for programmatic checks."""
+        return {tuple(r[:-1]): r[-1] for r in self.rows}
+
+
+def _characterisation_run(app: str, rate: float, scale: float,
+                          forward_distance: Optional[int] = None):
+    """Run MHPE in observation mode: MRU throughout, no threshold switching,
+    locality prefetch (the Section VI-A methodology)."""
+    kwargs = dict(switch_enabled=False, adjust_enabled=forward_distance is None)
+    if forward_distance is not None:
+        kwargs.update(init_lo=forward_distance, init_hi=forward_distance)
+    policy = MHPEPolicy(MHPEConfig(**kwargs))
+    workload = make_workload(app, scale=scale)
+    return Simulator(
+        workload,
+        policy=policy,
+        prefetcher=LocalityPrefetcher("continue"),
+        oversubscription=rate,
+    ).run()
+
+
+def table3(
+    apps: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+) -> TableResult:
+    """Maximum per-interval untouch level in the first four active intervals."""
+    apps = list(apps or BENCHMARKS)
+    rows = []
+    for rate in rates:
+        for app in apps:
+            result = _characterisation_run(app, rate, scale)
+            profile = untouch_profile(result)
+            rows.append([f"{rate:.0%}", app, profile.max_first_four])
+    rows.sort(key=lambda r: (r[0], -r[2]))
+    return TableResult(
+        name="table3",
+        description="max untouch level in first four intervals (MRU, no switch)",
+        headers=["rate", "app", "max untouch"],
+        rows=rows,
+        notes=[
+            "paper: range 0..60; Types II/III/V/VI high, Types I/IV low; "
+            "T1 is set to 32 so MRU-friendly apps (e.g. HSD) stay below it",
+        ],
+    )
+
+
+def table4(
+    apps: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+    t1: int = 32,
+) -> TableResult:
+    """Total untouch level in the first four active intervals, for apps whose
+    Table III maximum stays below ``t1`` (the paper's filtering rule)."""
+    apps = list(apps or BENCHMARKS)
+    rows = []
+    for rate in rates:
+        for app in apps:
+            result = _characterisation_run(app, rate, scale)
+            profile = untouch_profile(result)
+            if profile.max_first_four >= t1:
+                continue
+            rows.append([f"{rate:.0%}", app, profile.total_first_four])
+    rows.sort(key=lambda r: (r[0], -r[2]))
+    return TableResult(
+        name="table4",
+        description=f"total untouch in first four intervals (apps with max < {t1})",
+        headers=["rate", "app", "total untouch"],
+        rows=rows,
+        notes=["paper: T2 = 40 separates HSD (MRU-friendly) from LRU-favouring apps"],
+    )
+
+
+def sensitivity_fd(
+    regular_apps: Sequence[str] = ("HSD", "SRD"),
+    irregular_apps: Sequence[str] = ("B+T", "KMN"),
+    distances: Sequence[int] = tuple(range(1, 11)),
+    rate: float = 0.5,
+    scale: float = 1.0,
+) -> TableResult:
+    """Untouch level of early intervals vs a fixed forward distance.
+
+    Reproduces the Section IV-B finding: regular applications' untouch level
+    drops sharply once the distance reaches ~2, while irregular applications
+    stay high until ~8 — hence the 2..8 operating range.
+    """
+    rows = []
+    for dist in distances:
+        for group, apps in (("regular", regular_apps), ("irregular", irregular_apps)):
+            levels = []
+            for app in apps:
+                result = _characterisation_run(app, rate, scale, forward_distance=dist)
+                levels.append(untouch_profile(result).total_first_four)
+            rows.append([dist, group, round(mean(levels), 1)])
+    return TableResult(
+        name="sensitivity-fd",
+        description="early-interval untouch level vs fixed forward distance",
+        headers=["forward distance", "group", "mean total untouch (first 4)"],
+        rows=rows,
+        notes=["paper: regular apps' untouch drops at distance >= 2; beyond 8 "
+               "irregular apps' untouch also drops, blurring classification"],
+    )
+
+
+def sensitivity_t3(
+    apps: Sequence[str] = ("SRD", "HSD", "MRQ"),
+    candidates: Sequence[int] = (16, 20, 24, 28, 32, 36, 40),
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+) -> TableResult:
+    """Average CPPE speedup over the baseline vs the T3 limit (Section VI-A)."""
+    from ..core.cppe import CPPE  # local import avoids a cycle at module load
+
+    rows = []
+    for t3 in candidates:
+        speedups = []
+        for rate in rates:
+            for app in apps:
+                base = run_one(RunSpec(app, "baseline", rate, scale=scale))
+                pair = CPPE.create(mhpe_config=MHPEConfig(t3=t3))
+                workload = make_workload(app, scale=scale)
+                cand = Simulator(
+                    workload,
+                    policy=pair.policy,
+                    prefetcher=pair.prefetcher,
+                    oversubscription=rate,
+                ).run()
+                speedups.append(cand.speedup_over(base))
+        rows.append([t3, round(mean(speedups), 3)])
+    best = max(rows, key=lambda r: r[1])[0]
+    return TableResult(
+        name="sensitivity-t3",
+        description="mean speedup of the continuously-adjusting apps vs T3",
+        headers=["T3", "mean speedup vs baseline"],
+        rows=rows,
+        notes=[f"best candidate here: {best} (paper: 32)"],
+    )
+
+
+def overhead(
+    apps: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.75, 0.5),
+    scale: float = 1.0,
+) -> TableResult:
+    """Structure storage overhead of CPPE (Section VI-C)."""
+    apps = list(apps or BENCHMARKS)
+    rows = []
+    for rate in rates:
+        reports = []
+        for app in apps:
+            result = run_one(RunSpec(app, "cppe", rate, scale=scale))
+            reports.append(overhead_report(result))
+        avg_entries = mean(r.total_entries for r in reports)
+        avg_kb = mean(r.total_kb for r in reports)
+        avg_evicted = mean(r.evicted_buffer_entries for r in reports)
+        with_pattern = [r for r in reports if r.pattern_buffer_entries > 0]
+        pattern_frac = (
+            mean(r.pattern_buffer_vs_chain for r in with_pattern)
+            if with_pattern
+            else 0.0
+        )
+        rows.append(
+            [
+                f"{rate:.0%}",
+                round(avg_entries, 1),
+                round(avg_kb, 2),
+                round(avg_evicted, 1),
+                round(pattern_frac * 100, 1),
+            ]
+        )
+    return TableResult(
+        name="overhead",
+        description="CPPE structure overhead, averaged over the suite",
+        headers=[
+            "rate",
+            "avg entries",
+            "avg KB",
+            "avg evicted-buffer len",
+            "pattern buffer vs chain (%)",
+        ],
+        rows=rows,
+        notes=[
+            "paper: 731 / 559 entries (8.6 / 6.6 KB) at 75% / 50%; evicted "
+            "buffer 73 / 51; pattern buffer 37.2% / 88.7% of chain length "
+            "(our footprints are scaled 1/4, so entry counts scale with them)",
+        ],
+    )

@@ -1,0 +1,24 @@
+"""Unified-memory substrate: device memory, page table, GMMU, chunk chain."""
+
+from .address import chunk_of, chunk_base_vpn, chunk_vpns, page_index_in_chunk
+from .device_memory import DeviceMemory
+from .page_table import PageTable
+from .pcie import PCIeLink
+from .chunk_chain import ChunkChain, ChunkEntry
+from .fault import FarFault, InFlightMigration
+from .gmmu import GMMU
+
+__all__ = [
+    "chunk_of",
+    "chunk_base_vpn",
+    "chunk_vpns",
+    "page_index_in_chunk",
+    "DeviceMemory",
+    "PageTable",
+    "PCIeLink",
+    "ChunkChain",
+    "ChunkEntry",
+    "FarFault",
+    "InFlightMigration",
+    "GMMU",
+]

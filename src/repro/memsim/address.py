@@ -1,0 +1,36 @@
+"""Virtual address arithmetic.
+
+Pages are identified by integer virtual page numbers (VPNs); a *chunk* is a
+group of ``pages_per_chunk`` (default 16, i.e. a 64 KB basic block) pages
+with consecutive VPNs, aligned to the chunk size — the granularity at which
+the locality prefetcher migrates and the pre-eviction policy evicts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..units import PAGES_PER_CHUNK
+
+__all__ = ["chunk_of", "chunk_base_vpn", "chunk_vpns", "page_index_in_chunk"]
+
+
+def chunk_of(vpn: int, pages_per_chunk: int = PAGES_PER_CHUNK) -> int:
+    """Chunk id containing ``vpn``."""
+    return vpn // pages_per_chunk
+
+
+def chunk_base_vpn(chunk_id: int, pages_per_chunk: int = PAGES_PER_CHUNK) -> int:
+    """First VPN of ``chunk_id``."""
+    return chunk_id * pages_per_chunk
+
+
+def chunk_vpns(chunk_id: int, pages_per_chunk: int = PAGES_PER_CHUNK) -> List[int]:
+    """All VPNs belonging to ``chunk_id``, in address order."""
+    base = chunk_id * pages_per_chunk
+    return list(range(base, base + pages_per_chunk))
+
+
+def page_index_in_chunk(vpn: int, pages_per_chunk: int = PAGES_PER_CHUNK) -> int:
+    """Position of ``vpn`` within its chunk (0 .. pages_per_chunk-1)."""
+    return vpn % pages_per_chunk

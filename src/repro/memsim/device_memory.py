@@ -1,0 +1,64 @@
+"""GPU device memory: a frame allocator.
+
+Capacity is expressed in 4 KB frames.  The oversubscription experiments set
+``capacity = round(footprint_pages * rate)`` for rate in {0.75, 0.50} after a
+first run with unlimited memory determines the footprint high-watermark,
+exactly as in Section VI of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CapacityError
+
+__all__ = ["DeviceMemory"]
+
+
+class DeviceMemory:
+    """Fixed pool of physical frames with O(1) alloc/free."""
+
+    def __init__(self, capacity_frames: int):
+        if capacity_frames <= 0:
+            raise CapacityError(
+                f"device memory needs a positive capacity, got {capacity_frames}"
+            )
+        self.capacity = capacity_frames
+        # Free list kept as a stack of frame numbers; deterministic order.
+        self._free: List[int] = list(range(capacity_frames - 1, -1, -1))
+        self._allocated = 0
+        self.peak_allocated = 0
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_frames(self) -> int:
+        return self._allocated
+
+    @property
+    def is_full(self) -> bool:
+        return not self._free
+
+    def can_allocate(self, n: int) -> bool:
+        return len(self._free) >= n
+
+    def allocate(self) -> int:
+        """Allocate one frame; raises :class:`CapacityError` when full."""
+        if not self._free:
+            raise CapacityError("device memory exhausted")
+        frame = self._free.pop()
+        self._allocated += 1
+        if self._allocated > self.peak_allocated:
+            self.peak_allocated = self._allocated
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return a frame to the pool."""
+        if not 0 <= frame < self.capacity:
+            raise CapacityError(f"frame {frame} out of range 0..{self.capacity - 1}")
+        self._free.append(frame)
+        self._allocated -= 1
+        if self._allocated < 0:
+            raise CapacityError(f"double free of frame {frame}")

@@ -1,0 +1,44 @@
+"""Far-fault bookkeeping.
+
+A :class:`FarFault` records one SM access that missed device memory.  The
+GMMU groups faults by chunk: while a migration for a chunk is in flight,
+additional faults to pages covered by that migration merge into it (they are
+resolved together, as the replayable-far-fault hardware of [9] does), and
+faults to same-chunk pages *not* covered queue as fresh faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Set
+
+__all__ = ["FarFault", "InFlightMigration"]
+
+
+@dataclass
+class FarFault:
+    """One outstanding faulted access."""
+
+    vpn: int
+    sm_id: int
+    time: int
+    is_write: bool
+    #: Called with the completion time when the page becomes resident.
+    on_resolve: Callable[[int], None]
+
+
+@dataclass
+class InFlightMigration:
+    """A fault-service operation the GMMU is currently executing."""
+
+    chunk_id: int
+    pages: Set[int]  # VPNs being migrated in
+    faults: List[FarFault] = field(default_factory=list)
+    start_time: int = 0
+    finish_time: int = 0
+
+    def covers(self, vpn: int) -> bool:
+        return vpn in self.pages
+
+    def attach(self, fault: FarFault) -> None:
+        self.faults.append(fault)

@@ -1,0 +1,103 @@
+"""GPU page table.
+
+Two roles:
+
+1. **Residency map** — VPN -> physical frame for pages currently in device
+   memory, plus per-page *accessed* and *dirty* bits.  The accessed bit is
+   what the UVM driver reads back when it unmaps a chunk at eviction time;
+   it is the source of MHPE's untouch-level statistic (see DESIGN.md).
+2. **Walk structure model** — a 4-level radix tree (512-ary, 9 bits per
+   level, as in x86-64).  The page-table walker asks for the per-level node
+   keys of a VPN so that the page walk cache can cache upper levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["PageTable"]
+
+_BITS_PER_LEVEL = 9
+
+
+class PageTable:
+    """Radix page table with residency and access/dirty tracking."""
+
+    __slots__ = ("levels", "_entries", "resident_peak")
+
+    def __init__(self, levels: int = 4):
+        if levels <= 0:
+            raise SimulationError("page table needs at least one level")
+        self.levels = levels
+        # vpn -> [frame, accessed, dirty]
+        self._entries: Dict[int, List] = {}
+        self.resident_peak = 0
+
+    # --- residency --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def is_resident(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def frame_of(self, vpn: int) -> Optional[int]:
+        entry = self._entries.get(vpn)
+        return entry[0] if entry is not None else None
+
+    def map(self, vpn: int, frame: int) -> None:
+        """Install a translation.  Pages arrive untouched and clean."""
+        if vpn in self._entries:
+            raise SimulationError(f"vpn {vpn} already mapped")
+        self._entries[vpn] = [frame, False, False]
+        if len(self._entries) > self.resident_peak:
+            self.resident_peak = len(self._entries)
+
+    def unmap(self, vpn: int) -> Tuple[int, bool, bool]:
+        """Remove a translation; returns (frame, accessed, dirty)."""
+        entry = self._entries.pop(vpn, None)
+        if entry is None:
+            raise SimulationError(f"vpn {vpn} not mapped")
+        return entry[0], entry[1], entry[2]
+
+    def record_access(self, vpn: int, is_write: bool = False) -> None:
+        """Set the accessed (and possibly dirty) bit, as MMU hardware would."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            raise SimulationError(f"access to non-resident vpn {vpn}")
+        entry[1] = True
+        if is_write:
+            entry[2] = True
+
+    def accessed(self, vpn: int) -> bool:
+        entry = self._entries.get(vpn)
+        return bool(entry and entry[1])
+
+    def dirty(self, vpn: int) -> bool:
+        entry = self._entries.get(vpn)
+        return bool(entry and entry[2])
+
+    def resident_vpns(self) -> List[int]:
+        """Snapshot of resident VPNs (sorted, for deterministic iteration)."""
+        return sorted(self._entries)
+
+    # --- walk structure ----------------------------------------------------
+
+    def node_keys(self, vpn: int) -> Tuple[Tuple[int, int], ...]:
+        """Per-level node identifiers touched by a walk for ``vpn``.
+
+        Returns ``levels`` keys ordered root-first.  Key for level ``i``
+        (0 = root) identifies the page-table node whose entry must be read at
+        that level; the page walk cache caches the *upper* levels (all but
+        the leaf), so a PWC hit on the deepest cached level shortens the walk.
+        """
+        keys = []
+        for level in range(self.levels):
+            shift = _BITS_PER_LEVEL * (self.levels - 1 - level)
+            keys.append((level, vpn >> shift))
+        return tuple(keys)

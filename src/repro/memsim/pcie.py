@@ -1,0 +1,42 @@
+"""CPU-GPU interconnect model.
+
+The paper uses a 16 GB/s link with a 20 us page fault service time.  Fault
+service latency is charged by the GMMU; this module charges *transfer* time
+and keeps byte counters per direction.  The link is full duplex: host-to-
+device migrations and device-to-host writebacks do not contend (writeback
+time is therefore tracked but not added to the fault-service critical path —
+see DESIGN.md, simulation model).
+"""
+
+from __future__ import annotations
+
+from ..units import transfer_cycles
+
+__all__ = ["PCIeLink"]
+
+
+class PCIeLink:
+    """Bandwidth/byte accounting for the CPU-GPU interconnect."""
+
+    def __init__(self, bandwidth_gbps: float = 16.0, clock_hz: float = 1.4e9,
+                 page_size: int = 4096):
+        self.bandwidth_gbps = bandwidth_gbps
+        self.clock_hz = clock_hz
+        self.page_size = page_size
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+        self._page_cycles = transfer_cycles(page_size, bandwidth_gbps, clock_hz)
+
+    @property
+    def cycles_per_page(self) -> int:
+        return self._page_cycles
+
+    def transfer_to_device(self, num_pages: int) -> int:
+        """Account a host->device migration; returns transfer cycles."""
+        self.bytes_to_device += num_pages * self.page_size
+        return num_pages * self._page_cycles
+
+    def transfer_to_host(self, num_pages: int) -> int:
+        """Account a device->host writeback; returns transfer cycles."""
+        self.bytes_to_host += num_pages * self.page_size
+        return num_pages * self._page_cycles

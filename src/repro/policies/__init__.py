@@ -1,0 +1,28 @@
+"""Page (chunk) eviction policies.
+
+All policies operate at chunk (64 KB) pre-eviction granularity, as in the
+paper's baseline and proposals:
+
+* :class:`LRUPolicy` — the baseline pre-eviction policy [16];
+* :class:`RandomPolicy` — random victim selection [9];
+* :class:`ReservedLRUPolicy` — LRU with the top N% protected [16];
+* :class:`HPEPolicy` — counter-based hierarchical page eviction [14][15];
+* :class:`MHPEPolicy` — the paper's modified HPE (Algorithm 1).
+"""
+
+from .base import EvictionPolicy, PolicyContext
+from .lru import LRUPolicy
+from .random_policy import RandomPolicy
+from .reserved_lru import ReservedLRUPolicy
+from .hpe import HPEPolicy
+from .mhpe import MHPEPolicy
+
+__all__ = [
+    "EvictionPolicy",
+    "PolicyContext",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReservedLRUPolicy",
+    "HPEPolicy",
+    "MHPEPolicy",
+]

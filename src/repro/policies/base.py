@@ -1,0 +1,118 @@
+"""Eviction policy interface.
+
+The GMMU owns the *mechanism* (chunk chain bookkeeping, touch bit-vectors,
+unmapping, interval ticks); a policy owns the *decisions*:
+
+* where a newly migrated chunk enters the chain (:meth:`insert_chunk`);
+* whether a page touch refreshes chain recency (:meth:`on_page_touched`);
+* which chunks to evict when frames are needed (:meth:`select_victims`);
+* how to react to faults, evictions, and interval boundaries.
+
+The touched bit-vector on each :class:`~repro.memsim.chunk_chain.ChunkEntry`
+is maintained by the GMMU regardless of policy — it models page-table access
+bits that the driver reads back at unmap time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from ..config import SimConfig
+from ..engine.stats import IntervalRecord, SimStats
+from ..errors import SimulationError
+from ..memsim.chunk_chain import ChunkChain, ChunkEntry
+
+__all__ = ["PolicyContext", "EvictionPolicy"]
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult, handed over by the GMMU at attach."""
+
+    chain: ChunkChain
+    stats: SimStats
+    config: SimConfig
+    rng: random.Random
+    get_interval: Callable[[], int] = field(default=lambda: 0)
+
+
+class EvictionPolicy:
+    """Base class with no-op hooks.  Subclasses override what they need."""
+
+    #: Human-readable policy name for reports.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.ctx: PolicyContext = None  # type: ignore[assignment]
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def attach(self, ctx: PolicyContext) -> None:
+        """Called once by the GMMU before simulation starts."""
+        self.ctx = ctx
+
+    # --- chain events ------------------------------------------------------
+
+    def insert_chunk(self, entry: ChunkEntry, time: int) -> None:
+        """Place a newly migrated chunk into the chain (default: MRU tail)."""
+        self.ctx.chain.insert_tail(entry)
+
+    def on_page_touched(self, entry: ChunkEntry, vpn: int, time: int) -> None:
+        """A resident page was touched (after the GMMU updated bit-vectors)."""
+
+    def on_fault(self, vpn: int, chunk_id: int, time: int) -> None:
+        """A far fault was raised (before servicing)."""
+
+    def on_chunk_evicted(self, entry: ChunkEntry, time: int) -> None:
+        """A victim this policy selected has been evicted."""
+
+    def on_memory_full(self, time: int) -> None:
+        """Device memory reached capacity for the first time."""
+
+    def on_interval_end(self, record: IntervalRecord, time: int) -> None:
+        """An interval (64 migrated pages) completed.  ``record`` is partially
+        filled by the GMMU (index, faults, evictions); policies add strategy
+        telemetry."""
+
+    # --- the decision ------------------------------------------------------
+
+    def select_victims(self, frames_needed: int, time: int) -> List[ChunkEntry]:
+        """Choose chunks whose resident pages cover ``frames_needed`` frames.
+
+        Entries are returned in eviction order and must still be in the
+        chain; the GMMU removes them, unmaps their pages and then calls
+        :meth:`on_chunk_evicted` for each.
+        """
+        raise NotImplementedError
+
+    # --- reporting ----------------------------------------------------------
+
+    @property
+    def current_strategy(self) -> str:
+        """'lru', 'mru', 'random', ... — consumed by the pattern buffer
+        (which only records under LRU) and by reports."""
+        return self.name
+
+    # --- shared helpers -----------------------------------------------------
+
+    def _take_until_enough(
+        self, ordered: List[ChunkEntry], frames_needed: int
+    ) -> List[ChunkEntry]:
+        """Take a prefix of ``ordered`` covering ``frames_needed`` frames."""
+        victims: List[ChunkEntry] = []
+        freed = 0
+        for entry in ordered:
+            if freed >= frames_needed:
+                break
+            if entry.resident_pages == 0:
+                continue
+            victims.append(entry)
+            freed += entry.resident_pages
+        if freed < frames_needed:
+            raise SimulationError(
+                f"{self.name}: cannot free {frames_needed} frames; only "
+                f"{freed} evictable (chain length {len(self.ctx.chain)})"
+            )
+        return victims

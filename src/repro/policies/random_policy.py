@@ -1,0 +1,26 @@
+"""Random chunk eviction, as evaluated by Zheng et al. [9] and used as a
+comparison point in Figs. 3 and 9 of the paper."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memsim.chunk_chain import ChunkEntry
+from .base import EvictionPolicy
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(EvictionPolicy):
+    """Uniformly random victim selection (deterministic given the seed)."""
+
+    name = "random"
+
+    def on_page_touched(self, entry: ChunkEntry, vpn: int, time: int) -> None:
+        # Random ignores recency but keeps interval bookkeeping coherent.
+        entry.last_ref_interval = self.ctx.get_interval()
+
+    def select_victims(self, frames_needed: int, time: int) -> List[ChunkEntry]:
+        entries = [e for e in self.ctx.chain.from_head() if e.resident_pages > 0]
+        self.ctx.rng.shuffle(entries)
+        return self._take_until_enough(entries, frames_needed)

@@ -1,0 +1,28 @@
+"""Page prefetchers.
+
+* :class:`DisabledPrefetcher` — demand paging only;
+* :class:`LocalityPrefetcher` — sequential-local 64 KB chunk prefetch [9],
+  with configurable behaviour once memory is full (continue naively, as the
+  baseline of [16] does, or stop, as [11] suggests);
+* :class:`TreeNeighborhoodPrefetcher` — the tree-based neighborhood
+  prefetcher Ganguly et al. observed in the CUDA driver [16] (extension);
+* :class:`PatternAwarePrefetcher` — CPPE's access pattern-aware prefetcher
+  (Section IV-C) with Scheme-1/Scheme-2 pattern deletion.
+"""
+
+from .base import Prefetcher, PrefetchContext
+from .disabled import DisabledPrefetcher
+from .locality import LocalityPrefetcher
+from .tree_neighborhood import TreeNeighborhoodPrefetcher
+from .pattern_aware import PatternAwarePrefetcher, PatternBuffer, PatternEntry
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchContext",
+    "DisabledPrefetcher",
+    "LocalityPrefetcher",
+    "TreeNeighborhoodPrefetcher",
+    "PatternAwarePrefetcher",
+    "PatternBuffer",
+    "PatternEntry",
+]

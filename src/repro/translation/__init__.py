@@ -1,0 +1,8 @@
+"""Address translation substrate: TLBs, page walk cache, walker (Fig. 1)."""
+
+from .tlb import TLB
+from .page_walk_cache import PageWalkCache
+from .walker import PageTableWalker
+from .hierarchy import TranslationHierarchy
+
+__all__ = ["TLB", "PageWalkCache", "PageTableWalker", "TranslationHierarchy"]

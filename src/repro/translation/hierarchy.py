@@ -1,0 +1,104 @@
+"""The complete translation path of Fig. 1.
+
+Per-SM private L1 TLBs backed by a shared L2 TLB, a shared page walk cache,
+and a highly-threaded page table walker.  ``translate`` charges the latency
+of the access path and reports whether the page is resident; a non-resident
+outcome is a far fault (handled by the GMMU, not here).
+
+On eviction the GMMU calls :meth:`shootdown` to invalidate stale entries in
+every TLB (the unmap side of migrating a page back to the host).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..config import TranslationConfig
+from ..engine.stats import SimStats
+from ..memsim.dram import DRAMModel
+from ..memsim.page_table import PageTable
+from .page_walk_cache import PageWalkCache
+from .tlb import TLB
+from .walker import PageTableWalker
+
+__all__ = ["TranslationHierarchy"]
+
+
+class TranslationHierarchy:
+    """L1 TLBs (per SM) -> shared L2 TLB -> walker (PWC + page table)."""
+
+    def __init__(self, config: TranslationConfig, num_sms: int,
+                 page_table: PageTable, stats: SimStats):
+        self.config = config
+        self.stats = stats
+        self.page_table = page_table
+        self.l1_tlbs: List[TLB] = [TLB(config.l1) for _ in range(num_sms)]
+        self.l2_tlb = TLB(config.l2)
+        self.pwc = PageWalkCache(config.pwc)
+        self.dram = DRAMModel() if config.use_dram_model else None
+        self.walker = PageTableWalker(
+            config.walker, page_table, self.pwc, dram=self.dram
+        )
+
+    def translate(self, sm_id: int, vpn: int, time: int) -> Tuple[int, bool]:
+        """Translate ``vpn`` for SM ``sm_id`` at ``time``.
+
+        Returns ``(latency_cycles, resident)``.  TLB fills happen only for
+        resident pages (a faulting walk installs nothing — the page has no
+        mapping yet).
+        """
+        stats = self.stats
+        if not self.config.enabled:
+            return 0, self.page_table.is_resident(vpn)
+
+        l1 = self.l1_tlbs[sm_id]
+        if l1.lookup(vpn):
+            stats.l1_tlb_hits += 1
+            return l1.hit_latency, True
+        stats.l1_tlb_misses += 1
+        latency = l1.hit_latency
+
+        if self.l2_tlb.lookup(vpn):
+            stats.l2_tlb_hits += 1
+            latency += self.l2_tlb.hit_latency
+            l1.insert(vpn)
+            return latency, True
+        stats.l2_tlb_misses += 1
+        latency += self.l2_tlb.hit_latency
+
+        walk_latency, resident = self.walker.walk(vpn, time + latency)
+        stats.page_walks += 1
+        latency += walk_latency
+        if resident:
+            l1.insert(vpn)
+            self.l2_tlb.insert(vpn)
+        return latency, resident
+
+    def fill(self, sm_id: int, vpn: int) -> None:
+        """Install a translation after a fault replay.
+
+        The replayed access goes back through the translation path in real
+        hardware; the walk's latency is already covered by the fault service
+        time, so only the fills are modelled.
+        """
+        self.l1_tlbs[sm_id].insert(vpn)
+        self.l2_tlb.insert(vpn)
+
+    def shootdown(self, vpn: int) -> None:
+        """Invalidate ``vpn`` everywhere (page is being evicted)."""
+        hit = False
+        for l1 in self.l1_tlbs:
+            hit |= l1.invalidate(vpn)
+        hit |= self.l2_tlb.invalidate(vpn)
+        if hit:
+            self.stats.tlb_shootdowns += 1
+
+    def sync_counter_stats(self) -> None:
+        """Copy component hit/miss counters into the shared stats bag.
+
+        The per-access counters are already incremented in ``translate``;
+        this copies the PWC counters, which are only tracked locally.
+        """
+        self.stats.pwc_hits = self.pwc.hits
+        self.stats.pwc_misses = self.pwc.misses
+        self.stats.walker_queue_delay_cycles = self.walker.total_queue_delay

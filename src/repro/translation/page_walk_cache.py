@@ -1,0 +1,63 @@
+"""Shared page walk cache.
+
+Caches upper-level (non-leaf) page-table entries keyed by (level, node id).
+A walk that finds its deepest non-leaf level cached skips the memory
+accesses for that level and everything above it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import PageWalkCacheConfig
+
+__all__ = ["PageWalkCache"]
+
+
+class PageWalkCache:
+    """Set-associative cache of page-table interior nodes."""
+
+    __slots__ = ("config", "_sets", "_num_sets", "_assoc", "hits", "misses")
+
+    def __init__(self, config: PageWalkCacheConfig):
+        self.config = config
+        self._assoc = config.associativity
+        self._num_sets = max(1, config.entries // config.associativity)
+        self._sets: List[Dict[Tuple[int, int], None]] = [
+            {} for _ in range(self._num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def latency(self) -> int:
+        return self.config.latency
+
+    def _set_for(self, key: Tuple[int, int]) -> Dict[Tuple[int, int], None]:
+        level, node = key
+        return self._sets[(node * 7 + level) % self._num_sets]
+
+    def lookup(self, key: Tuple[int, int]) -> bool:
+        s = self._set_for(key)
+        if key in s:
+            del s[key]
+            s[key] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: Tuple[int, int]) -> None:
+        s = self._set_for(key)
+        if key in s:
+            del s[key]
+        elif len(s) >= self._assoc:
+            s.pop(next(iter(s)))
+        s[key] = None
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

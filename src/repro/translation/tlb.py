@@ -1,0 +1,73 @@
+"""Set-associative TLB with per-set LRU replacement.
+
+Used for both the per-SM private L1 TLBs (128-entry, 1-cycle) and the shared
+L2 TLB (512-entry, 16-way, 10-cycle) of Table I.  Python dicts preserve
+insertion order, so per-set LRU is a pop-and-reinsert on hit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import TLBConfig
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """A set-associative translation lookaside buffer."""
+
+    __slots__ = ("config", "_sets", "_num_sets", "_assoc", "hits", "misses")
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        # Each set is an insertion-ordered dict vpn -> None; oldest = LRU.
+        self._sets: List[Dict[int, None]] = [{} for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_latency(self) -> int:
+        return self.config.hit_latency
+
+    def lookup(self, vpn: int) -> bool:
+        """Probe for ``vpn``; refreshes LRU order on hit."""
+        s = self._sets[vpn % self._num_sets]
+        if vpn in s:
+            # Move to MRU (end of the ordered dict).
+            del s[vpn]
+            s[vpn] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, vpn: int) -> None:
+        """Fill ``vpn``, evicting the set's LRU entry if needed."""
+        s = self._sets[vpn % self._num_sets]
+        if vpn in s:
+            del s[vpn]
+        elif len(s) >= self._assoc:
+            # Oldest inserted key is the LRU victim.
+            s.pop(next(iter(s)))
+        s[vpn] = None
+
+    def invalidate(self, vpn: int) -> bool:
+        """Shoot down ``vpn``; returns True if it was present."""
+        s = self._sets[vpn % self._num_sets]
+        if vpn in s:
+            del s[vpn]
+            return True
+        return False
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._sets[vpn % self._num_sets]

@@ -1,0 +1,96 @@
+"""Highly-threaded page table walker.
+
+Supports ``concurrent_walks`` simultaneous walks (64 in Table I).  Walk
+latency is the page-walk-cache probe plus one memory access per page-table
+level that must actually be fetched; the PWC caches the non-leaf levels, so
+the deepest cached level determines where the walk (re)starts.
+
+Concurrency is modelled with a reservation heap of walk finish times: a walk
+issued while all walker threads are busy is delayed until the earliest
+running walk retires.  This keeps the walker off the event queue (walks are
+charged inline on the SM's access path) while still producing queueing delay
+under bursts of TLB misses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..config import WalkerConfig
+from ..memsim.dram import DRAMModel
+from ..memsim.page_table import PageTable
+from .page_walk_cache import PageWalkCache
+
+__all__ = ["PageTableWalker"]
+
+
+class PageTableWalker:
+    """Threaded walker over a radix page table with a shared walk cache.
+
+    With a :class:`~repro.memsim.dram.DRAMModel` attached, each page-table
+    level fetched from memory goes through the GDDR5 channel model instead
+    of the flat ``memory_access_latency`` constant.
+    """
+
+    def __init__(self, config: WalkerConfig, page_table: PageTable,
+                 pwc: PageWalkCache, dram: Optional[DRAMModel] = None):
+        self.config = config
+        self.page_table = page_table
+        self.pwc = pwc
+        self.dram = dram
+        self._busy_until: List[int] = []  # min-heap of walk finish times
+        self.walks = 0
+        self.total_walk_cycles = 0
+        self.total_queue_delay = 0
+
+    def walk(self, vpn: int, time: int) -> Tuple[int, bool]:
+        """Perform a walk for ``vpn`` starting at ``time``.
+
+        Returns ``(latency_cycles, resident)``.  ``latency_cycles`` includes
+        any queueing delay waiting for a free walker thread.  ``resident`` is
+        False when the leaf PTE is absent — a far fault.
+        """
+        self.walks += 1
+
+        # Queueing: reclaim finished walks, then wait for a slot if saturated.
+        busy = self._busy_until
+        while busy and busy[0] <= time:
+            heapq.heappop(busy)
+        queue_delay = 0
+        if len(busy) >= self.config.concurrent_walks:
+            earliest = heapq.heappop(busy)
+            queue_delay = earliest - time
+        start = time + queue_delay
+
+        keys = self.page_table.node_keys(vpn)
+        levels = self.config.levels
+        # Find the deepest cached non-leaf level; the walk resumes below it.
+        deepest_cached = -1
+        for level in range(levels - 2, -1, -1):
+            if self.pwc.lookup(keys[level]):
+                deepest_cached = level
+                break
+        # Fetch every level below the deepest cached one (leaf included).
+        latency = self.pwc.latency
+        if self.dram is not None:
+            fetch_time = start + latency
+            for level in range(deepest_cached + 1, levels):
+                # 8-byte PTEs: the node id gives the table's base "address".
+                address = keys[level][1] * 8
+                step = self.dram.read(address, fetch_time)
+                latency += step
+                fetch_time += step
+        else:
+            fetched_levels = levels - 1 - deepest_cached
+            latency += fetched_levels * self.config.memory_access_latency
+        # Install the interior nodes this walk brought in.
+        for level in range(deepest_cached + 1, levels - 1):
+            self.pwc.insert(keys[level])
+
+        finish = start + latency
+        heapq.heappush(busy, finish)
+        self.total_walk_cycles += latency
+        self.total_queue_delay += queue_delay
+        resident = self.page_table.is_resident(vpn)
+        return queue_delay + latency, resident

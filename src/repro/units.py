@@ -1,0 +1,67 @@
+"""Unit conversions for the simulated GPU system.
+
+The simulator's single time unit is one **GPU core cycle** at the clock
+frequency of Table I (1.4 GHz).  All latency-bearing configuration values are
+expressed in cycles; this module provides the conversions used to derive them
+from the paper's physical quantities (20 us fault service time, 16 GB/s
+CPU-GPU interconnect, 4 KB pages).
+"""
+
+from __future__ import annotations
+
+#: Default GPU core clock (Table I: 28 SMs, 1.4 GHz).
+DEFAULT_CLOCK_HZ: float = 1.4e9
+
+#: Page size used throughout the paper (4 KB OS pages).
+PAGE_SIZE_BYTES: int = 4096
+
+#: Pages per chunk (64 KB basic block == 16 x 4 KB pages).
+PAGES_PER_CHUNK: int = 16
+
+#: Bytes per chunk.
+CHUNK_SIZE_BYTES: int = PAGE_SIZE_BYTES * PAGES_PER_CHUNK
+
+
+def us_to_cycles(microseconds: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> int:
+    """Convert microseconds to an integral number of core cycles (rounded)."""
+    return int(round(microseconds * 1e-6 * clock_hz))
+
+
+def cycles_to_us(cycles: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert core cycles to microseconds."""
+    return cycles / clock_hz * 1e6
+
+
+def cycles_to_ms(cycles: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert core cycles to milliseconds."""
+    return cycles / clock_hz * 1e3
+
+
+def transfer_cycles(
+    num_bytes: int,
+    bandwidth_gbps: float,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+) -> int:
+    """Cycles to move ``num_bytes`` over a link of ``bandwidth_gbps`` GB/s.
+
+    Uses decimal gigabytes (16 GB/s == 16e9 B/s), matching how interconnect
+    bandwidth is quoted in the paper.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+    if bandwidth_gbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gbps}")
+    seconds = num_bytes / (bandwidth_gbps * 1e9)
+    return int(round(seconds * clock_hz))
+
+
+def page_transfer_cycles(
+    bandwidth_gbps: float = 16.0, clock_hz: float = DEFAULT_CLOCK_HZ
+) -> int:
+    """Cycles to transfer one 4 KB page (350 cycles at Table I defaults)."""
+    return transfer_cycles(PAGE_SIZE_BYTES, bandwidth_gbps, clock_hz)
+
+
+def mb_to_pages(megabytes: float) -> int:
+    """Number of 4 KB pages in ``megabytes`` MiB-style megabytes (2**20 B)."""
+    return int(round(megabytes * (1 << 20) / PAGE_SIZE_BYTES))

@@ -1,0 +1,47 @@
+"""Synthetic workloads reproducing the access-pattern taxonomy of Table II."""
+
+from .base import Workload, interleave_split, block_split
+from .patterns import (
+    streaming,
+    partly_repetitive,
+    mostly_repetitive,
+    thrashing,
+    repetitive_thrashing,
+    region_moving,
+)
+from .suite import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    get_benchmark,
+    make_workload,
+    benchmarks_by_type,
+)
+from .trace_io import (
+    TraceProfile,
+    downsample,
+    load_trace,
+    profile_trace,
+    save_trace,
+)
+
+__all__ = [
+    "Workload",
+    "interleave_split",
+    "block_split",
+    "streaming",
+    "partly_repetitive",
+    "mostly_repetitive",
+    "thrashing",
+    "repetitive_thrashing",
+    "region_moving",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "get_benchmark",
+    "make_workload",
+    "benchmarks_by_type",
+    "TraceProfile",
+    "downsample",
+    "load_trace",
+    "profile_trace",
+    "save_trace",
+]

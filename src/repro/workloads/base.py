@@ -1,0 +1,120 @@
+"""Workload container and SM-distribution helpers.
+
+A :class:`Workload` is a global stream of virtual page numbers plus a
+parallel write-flag array.  ``per_sm_traces`` distributes the stream over
+the GPU's SMs:
+
+* ``"interleave"`` (default) — element-wise round robin, modelling the
+  block-cyclic scheduling of GPU thread blocks: all SMs advance through the
+  same phase of the pattern together, so concurrent faults to one chunk
+  merge in the GMMU exactly as coalesced warp accesses do;
+* ``"block"`` — contiguous split, modelling coarse spatial partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..units import PAGES_PER_CHUNK
+
+__all__ = ["Workload", "interleave_split", "block_split"]
+
+
+def interleave_split(arr: np.ndarray, n: int) -> List[np.ndarray]:
+    """Round-robin split of ``arr`` into ``n`` subsequences."""
+    if n <= 0:
+        raise WorkloadError(f"need a positive SM count, got {n}")
+    return [arr[i::n] for i in range(n)]
+
+
+def block_split(arr: np.ndarray, n: int) -> List[np.ndarray]:
+    """Contiguous split of ``arr`` into ``n`` nearly equal blocks."""
+    if n <= 0:
+        raise WorkloadError(f"need a positive SM count, got {n}")
+    return [np.array(part) for part in np.array_split(arr, n)]
+
+
+@dataclass
+class Workload:
+    """A named, reproducible page-access stream."""
+
+    name: str
+    pattern_type: str  # "I" .. "VI"
+    footprint_pages: int
+    accesses: np.ndarray
+    writes: Optional[np.ndarray] = None
+    base_vpn: int = 0x80000
+    distribution: str = "interleave"
+    description: str = ""
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.accesses = np.asarray(self.accesses, dtype=np.int64)
+        if self.footprint_pages <= 0:
+            raise WorkloadError(f"{self.name}: footprint must be positive")
+        if self.accesses.size == 0:
+            raise WorkloadError(f"{self.name}: empty access stream")
+        if self.accesses.min() < 0 or self.accesses.max() >= self.footprint_pages:
+            raise WorkloadError(
+                f"{self.name}: accesses must lie in [0, {self.footprint_pages})"
+            )
+        if self.writes is not None:
+            self.writes = np.asarray(self.writes, dtype=bool)
+            if self.writes.shape != self.accesses.shape:
+                raise WorkloadError(f"{self.name}: writes/accesses shape mismatch")
+        if self.distribution not in ("interleave", "block"):
+            raise WorkloadError(
+                f"{self.name}: unknown distribution {self.distribution!r}"
+            )
+
+    @property
+    def num_accesses(self) -> int:
+        return int(self.accesses.size)
+
+    @property
+    def footprint_chunks(self) -> int:
+        return -(-self.footprint_pages // PAGES_PER_CHUNK)
+
+    @property
+    def unique_pages_touched(self) -> int:
+        return int(np.unique(self.accesses).size)
+
+    def absolute_accesses(self) -> np.ndarray:
+        """Access stream rebased to ``base_vpn`` (what SMs actually issue)."""
+        return self.accesses + self.base_vpn
+
+    def per_sm_traces(
+        self, num_sms: int
+    ) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Distribute the stream over ``num_sms`` SMs.
+
+        Returns one ``(trace, writes)`` pair per SM; traces are rebased to
+        ``base_vpn``.
+        """
+        split = interleave_split if self.distribution == "interleave" else block_split
+        traces = split(self.absolute_accesses(), num_sms)
+        if self.writes is None:
+            return [(t, None) for t in traces]
+        write_parts = split(self.writes, num_sms)
+        return list(zip(traces, write_parts))
+
+    def capacity_for(self, oversubscription: Optional[float]) -> int:
+        """Device capacity in frames for an oversubscription rate.
+
+        ``oversubscription=0.75`` means 75% of the footprint fits (Section
+        VI); ``None`` models unlimited memory (capacity exceeds footprint by
+        one chunk so eviction never triggers).
+        """
+        if oversubscription is None:
+            return self.footprint_pages + PAGES_PER_CHUNK
+        if not 0.0 < oversubscription <= 1.0:
+            raise WorkloadError(
+                f"oversubscription must be in (0, 1], got {oversubscription}"
+            )
+        capacity = int(round(self.footprint_pages * oversubscription))
+        # Keep at least four chunks so chunk-granular eviction can operate.
+        return max(capacity, 4 * PAGES_PER_CHUNK)

@@ -1,0 +1,252 @@
+"""Access-pattern generators for the six workload types of Table II.
+
+Each generator returns ``(accesses, writes)`` as numpy arrays of page
+indices (0 .. footprint-1) and write flags.  The taxonomy follows HPE [15]:
+
+* **Type I — Streaming**: one (or few) sequential passes, no reuse.
+* **Type II — Partly repetitive**: sequential sweeps plus a hot region that
+  is revisited between phases.
+* **Type III — Mostly repetitive**: repeated sweeps over *strided* subsets
+  (NW touches every 2nd page of a chunk, MVT/BIC every 4th) or an irregular
+  frontier (BFS); chunks are only partially populated for long stretches.
+* **Type IV — Thrashing**: cyclic sweeps over the whole footprint; with
+  capacity below the footprint, LRU evicts exactly the page needed next.
+* **Type V — Repetitive-thrashing**: cyclic sweeps interleaved with a hot
+  repeated region.
+* **Type VI — Region moving**: a working-set window slides across the
+  footprint; pages behind the window are dead — LRU-friendly, MRU-hostile.
+
+All generators are deterministic given ``seed`` and vectorised with numpy
+(trace construction is never the simulation bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = [
+    "streaming",
+    "partly_repetitive",
+    "mostly_repetitive",
+    "thrashing",
+    "repetitive_thrashing",
+    "region_moving",
+]
+
+Trace = Tuple[np.ndarray, np.ndarray]
+
+
+def _writes(rng: np.random.Generator, n: int, fraction: float) -> np.ndarray:
+    return rng.random(n) < fraction
+
+
+def _check(footprint: int) -> None:
+    if footprint <= 0:
+        raise WorkloadError(f"footprint must be positive, got {footprint}")
+
+
+def _finalize(
+    parts: list, footprint: int, seed: int, write_fraction: float
+) -> Trace:
+    accesses = np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])
+    if accesses.size == 0:
+        raise WorkloadError("generator produced an empty trace")
+    if accesses.min() < 0 or accesses.max() >= footprint:
+        raise WorkloadError("generator produced out-of-range pages")
+    rng = np.random.default_rng(seed + 0x9E3779B9)
+    return accesses, _writes(rng, accesses.size, write_fraction)
+
+
+def streaming(
+    footprint: int,
+    sweeps: int = 1,
+    touches_per_page: int = 2,
+    seed: int = 0,
+    write_fraction: float = 0.3,
+    skip_fraction: float = 0.0,
+) -> Trace:
+    """Type I: sequential pass(es), each page touched a few times in a row.
+
+    ``skip_fraction`` leaves a random subset of pages untouched per sweep
+    (e.g. LEU's sparse cell accesses), producing a nonzero untouch level in
+    prefetched chunks.
+    """
+    _check(footprint)
+    if sweeps <= 0 or touches_per_page <= 0:
+        raise WorkloadError("sweeps and touches_per_page must be positive")
+    if not 0.0 <= skip_fraction < 1.0:
+        raise WorkloadError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+    rng = np.random.default_rng(seed)
+    parts = []
+    for _ in range(sweeps):
+        pages = np.arange(footprint, dtype=np.int64)
+        if skip_fraction:
+            keep = rng.random(footprint) >= skip_fraction
+            pages = pages[keep]
+        parts.append(np.repeat(pages, touches_per_page))
+    return _finalize(parts, footprint, seed, write_fraction)
+
+
+def partly_repetitive(
+    footprint: int,
+    hot_fraction: float = 0.25,
+    hot_repeats: int = 6,
+    sweeps: int = 2,
+    touches_per_page: int = 1,
+    seed: int = 0,
+    write_fraction: float = 0.3,
+    skip_fraction: float = 0.0,
+) -> Trace:
+    """Type II: sequential sweeps with a revisited hot region in between."""
+    _check(footprint)
+    if not 0.0 < hot_fraction <= 1.0:
+        raise WorkloadError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    if not 0.0 <= skip_fraction < 1.0:
+        raise WorkloadError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+    hot_pages = max(1, int(footprint * hot_fraction))
+    rng = np.random.default_rng(seed)
+    hot = np.tile(np.arange(hot_pages, dtype=np.int64), hot_repeats)
+    parts = []
+    for i in range(sweeps):
+        pages = np.arange(footprint, dtype=np.int64)
+        if skip_fraction:
+            keep = rng.random(footprint) >= skip_fraction
+            pages = pages[keep]
+        parts.append(np.repeat(pages, touches_per_page))
+        if i < sweeps - 1:
+            parts.append(hot)
+    return _finalize(parts, footprint, seed, write_fraction)
+
+
+def mostly_repetitive(
+    footprint: int,
+    stride: int = 2,
+    repeats: int = 4,
+    phases: int = 2,
+    touches_per_page: int = 1,
+    seed: int = 0,
+    write_fraction: float = 0.3,
+    frontier: bool = False,
+    frontier_levels: int = 12,
+) -> Trace:
+    """Type III: repeated strided sweeps, or an irregular frontier (BFS).
+
+    With ``stride=k`` only every k-th page is touched during a phase; the
+    next phase shifts the offset, so a chunk's touch pattern is a fixed
+    stride for long stretches — the idiom CPPE's pattern buffer exploits.
+    With ``frontier=True`` the trace is a BFS-like sequence of random page
+    sets that grows then shrinks; chunks take many intervals to populate.
+    """
+    _check(footprint)
+    rng = np.random.default_rng(seed)
+    parts = []
+    if frontier:
+        peak = max(4, footprint // 4)
+        for level in range(frontier_levels):
+            # Bell-shaped frontier size.
+            ramp = 1 - abs(2 * level / max(1, frontier_levels - 1) - 1)
+            size = max(2, int(peak * ramp))
+            pages = rng.choice(footprint, size=size, replace=False).astype(np.int64)
+            # Each frontier page touched, some re-touched (edge traffic).
+            parts.append(np.repeat(pages, touches_per_page))
+            retouch = rng.choice(pages, size=max(1, size // 2), replace=True)
+            parts.append(retouch.astype(np.int64))
+    else:
+        if stride <= 0:
+            raise WorkloadError(f"stride must be positive, got {stride}")
+        for phase in range(phases):
+            offset = phase % stride
+            strided = np.arange(offset, footprint, stride, dtype=np.int64)
+            phase_part = np.repeat(strided, touches_per_page)
+            parts.extend([phase_part] * repeats)
+    return _finalize(parts, footprint, seed, write_fraction)
+
+
+def thrashing(
+    footprint: int,
+    sweeps: int = 6,
+    touches_per_page: int = 1,
+    seed: int = 0,
+    write_fraction: float = 0.3,
+) -> Trace:
+    """Type IV: cyclic sweeps over the full footprint (LRU's worst case)."""
+    _check(footprint)
+    if sweeps < 2:
+        raise WorkloadError("thrashing needs at least two sweeps to thrash")
+    sweep = np.repeat(np.arange(footprint, dtype=np.int64), touches_per_page)
+    return _finalize([sweep] * sweeps, footprint, seed, write_fraction)
+
+
+def repetitive_thrashing(
+    footprint: int,
+    hot_fraction: float = 0.2,
+    hot_repeats: int = 3,
+    sweeps: int = 4,
+    stride: int = 1,
+    touches_per_page: int = 1,
+    seed: int = 0,
+    write_fraction: float = 0.3,
+) -> Trace:
+    """Type V: cyclic (possibly strided) sweeps with an interleaved hot set."""
+    _check(footprint)
+    if stride <= 0:
+        raise WorkloadError(f"stride must be positive, got {stride}")
+    hot_pages = max(1, int(footprint * hot_fraction))
+    hot = np.tile(np.arange(hot_pages, dtype=np.int64), hot_repeats)
+    # The stride offset is fixed across sweeps: applications like HIS touch
+    # the same strided subset every pass (Fig. 7 discussion), which is the
+    # stable intra-chunk pattern the pattern buffer exploits.
+    strided = np.arange(0, footprint, stride, dtype=np.int64)
+    sweep = np.repeat(strided, touches_per_page)
+    parts = []
+    for _ in range(sweeps):
+        parts.append(sweep)
+        parts.append(hot)
+    return _finalize(parts, footprint, seed, write_fraction)
+
+
+def region_moving(
+    footprint: int,
+    window_pages: Optional[int] = None,
+    step: Optional[int] = None,
+    rounds_per_window: int = 3,
+    seed: int = 0,
+    write_fraction: float = 0.3,
+    touch_fraction: float = 1.0,
+) -> Trace:
+    """Type VI: a sliding working-set window (B+T node splits, HYB buckets).
+
+    Pages inside the current window are revisited ``rounds_per_window``
+    times in random order; the window then advances by ``step``.  Pages
+    behind the window are never needed again, so recency (LRU) is the right
+    signal and MRU-style eviction is harmful.  ``touch_fraction < 1`` makes
+    each window touch only a random subset of its pages (tree nodes are
+    scattered within a region), which is why Type VI applications show the
+    highest untouch levels in Table III.
+    """
+    _check(footprint)
+    if window_pages is None:
+        window_pages = max(16, footprint // 8)
+    if step is None:
+        step = max(1, window_pages // 2)
+    if window_pages <= 0 or step <= 0:
+        raise WorkloadError("window_pages and step must be positive")
+    if not 0.0 < touch_fraction <= 1.0:
+        raise WorkloadError(f"touch_fraction must be in (0, 1], got {touch_fraction}")
+    rng = np.random.default_rng(seed)
+    parts = []
+    start = 0
+    while start < footprint:
+        end = min(footprint, start + window_pages)
+        window = np.arange(start, end, dtype=np.int64)
+        if touch_fraction < 1.0:
+            size = max(1, int(window.size * touch_fraction))
+            window = rng.choice(window, size=size, replace=False)
+        for _ in range(rounds_per_window):
+            parts.append(rng.permutation(window))
+        start += step
+    return _finalize(parts, footprint, seed, write_fraction)

@@ -1,0 +1,167 @@
+"""Trace persistence and characterisation.
+
+Supports the bring-your-own-trace workflow (see ``examples/custom_workload
+.py``): traces captured from real applications (one virtual page index per
+memory operation) can be stored compactly as ``.npz``, reloaded as
+:class:`~repro.workloads.base.Workload` objects, down-sampled for quick
+runs, and characterised — footprint, reuse, stride, working-set curve —
+with the same vocabulary as the paper's Table II taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..units import PAGES_PER_CHUNK
+from .base import Workload
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "downsample",
+    "TraceProfile",
+    "profile_trace",
+]
+
+
+def save_trace(workload: Workload, path: Union[str, Path]) -> Path:
+    """Store a workload's trace as a compressed ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        accesses=workload.accesses,
+        writes=(workload.writes if workload.writes is not None
+                else np.zeros(0, dtype=bool)),
+        footprint_pages=np.int64(workload.footprint_pages),
+        name=np.str_(workload.name),
+        pattern_type=np.str_(workload.pattern_type),
+        distribution=np.str_(workload.distribution),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace(path: Union[str, Path]) -> Workload:
+    """Load a workload previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as data:
+        writes = data["writes"]
+        return Workload(
+            name=str(data["name"]),
+            pattern_type=str(data["pattern_type"]),
+            footprint_pages=int(data["footprint_pages"]),
+            accesses=data["accesses"],
+            writes=writes if writes.size else None,
+            distribution=str(data["distribution"]),
+        )
+
+
+def downsample(workload: Workload, factor: int) -> Workload:
+    """Keep every ``factor``-th access (quick-look runs on huge traces).
+
+    Down-sampling preserves the *ordering* and rough shape of a pattern but
+    thins reuse, so treat results as qualitative.
+    """
+    if factor <= 0:
+        raise WorkloadError(f"factor must be positive, got {factor}")
+    if factor == 1:
+        return workload
+    accesses = workload.accesses[::factor]
+    if accesses.size == 0:
+        raise WorkloadError("downsampling removed every access")
+    return Workload(
+        name=f"{workload.name}/ds{factor}",
+        pattern_type=workload.pattern_type,
+        footprint_pages=workload.footprint_pages,
+        accesses=accesses,
+        writes=None if workload.writes is None else workload.writes[::factor],
+        distribution=workload.distribution,
+        description=f"{workload.description} (1/{factor} sampled)",
+    )
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Characterisation of one trace."""
+
+    name: str
+    num_accesses: int
+    footprint_pages: int
+    unique_pages: int
+    touches_per_page_mean: float
+    #: Fraction of accesses whose page was seen before (any distance).
+    reuse_fraction: float
+    #: Most common non-zero |stride| between consecutive accesses.
+    dominant_stride: int
+    #: Fraction of consecutive-access strides equal to the dominant one.
+    dominant_stride_fraction: float
+    #: Chunk-level coverage: mean fraction of each touched chunk's pages
+    #: that are touched (low => pattern-prefetch opportunity).
+    chunk_coverage_mean: float
+    #: Unique pages in each quarter of the trace (working-set drift).
+    quarter_working_sets: tuple
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "accesses": self.num_accesses,
+            "footprint": self.footprint_pages,
+            "unique_pages": self.unique_pages,
+            "touches/page": round(self.touches_per_page_mean, 2),
+            "reuse": round(self.reuse_fraction, 3),
+            "stride": self.dominant_stride,
+            "stride_frac": round(self.dominant_stride_fraction, 3),
+            "chunk_coverage": round(self.chunk_coverage_mean, 3),
+        }
+
+
+def profile_trace(workload: Workload) -> TraceProfile:
+    """Compute a :class:`TraceProfile` (vectorised; fine for 1M accesses)."""
+    acc = workload.accesses
+    unique, counts = np.unique(acc, return_counts=True)
+
+    # Reuse: accesses beyond each page's first occurrence.
+    reuse_fraction = float((acc.size - unique.size) / acc.size) if acc.size else 0.0
+
+    # Dominant stride among consecutive accesses.
+    if acc.size > 1:
+        strides = np.abs(np.diff(acc))
+        strides = strides[strides > 0]
+        if strides.size:
+            vals, n = np.unique(strides, return_counts=True)
+            idx = int(np.argmax(n))
+            dominant = int(vals[idx])
+            dominant_frac = float(n[idx] / strides.size)
+        else:
+            dominant, dominant_frac = 0, 0.0
+    else:
+        dominant, dominant_frac = 0, 0.0
+
+    # Chunk coverage.
+    chunk_ids = unique // PAGES_PER_CHUNK
+    touched_per_chunk = np.bincount(chunk_ids - chunk_ids.min())
+    touched_per_chunk = touched_per_chunk[touched_per_chunk > 0]
+    coverage = float(np.mean(touched_per_chunk) / PAGES_PER_CHUNK)
+
+    quarters = np.array_split(acc, 4)
+    quarter_ws = tuple(int(np.unique(q).size) for q in quarters if q.size)
+
+    return TraceProfile(
+        name=workload.name,
+        num_accesses=int(acc.size),
+        footprint_pages=workload.footprint_pages,
+        unique_pages=int(unique.size),
+        touches_per_page_mean=float(np.mean(counts)),
+        reuse_fraction=reuse_fraction,
+        dominant_stride=dominant,
+        dominant_stride_fraction=dominant_frac,
+        chunk_coverage_mean=coverage,
+        quarter_working_sets=quarter_ws,
+    )

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MHPEConfig,
+    PatternBufferConfig,
+    SimConfig,
+    SMConfig,
+    TranslationConfig,
+    UVMConfig,
+)
+from repro.workloads.base import Workload
+
+
+@pytest.fixture
+def fast_config() -> SimConfig:
+    """A small-GPU config that keeps unit/integration tests quick while
+    preserving the paper's UVM geometry (16-page chunks, 64-page intervals)."""
+    return SimConfig(sm=SMConfig(num_sms=4))
+
+
+@pytest.fixture
+def no_translation_config() -> SimConfig:
+    """Config with the TLB/walker path disabled (pure UVM dynamics)."""
+    return SimConfig(
+        sm=SMConfig(num_sms=4),
+        translation=TranslationConfig(enabled=False),
+    )
+
+
+def make_simple_workload(
+    footprint: int = 256,
+    accesses=None,
+    name: str = "unit",
+    distribution: str = "interleave",
+    pattern_type: str = "IV",
+) -> Workload:
+    """A minimal deterministic workload for unit tests."""
+    if accesses is None:
+        accesses = np.tile(np.arange(footprint, dtype=np.int64), 3)
+    return Workload(
+        name=name,
+        pattern_type=pattern_type,
+        footprint_pages=footprint,
+        accesses=np.asarray(accesses, dtype=np.int64),
+        distribution=distribution,
+    )
+
+
+@pytest.fixture
+def cyclic_workload() -> Workload:
+    """A small cyclic (thrashing) workload: 16 chunks swept 3 times."""
+    return make_simple_workload(footprint=256)
+
+
+@pytest.fixture
+def streaming_workload() -> Workload:
+    """A single-pass streaming workload."""
+    return make_simple_workload(
+        footprint=256,
+        accesses=np.arange(256, dtype=np.int64),
+        pattern_type="I",
+    )

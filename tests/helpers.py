@@ -1,0 +1,73 @@
+"""Shared helpers for policy/prefetcher unit tests."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.config import SimConfig
+from repro.engine.stats import SimStats
+from repro.memsim.chunk_chain import ChunkChain, ChunkEntry
+from repro.policies.base import EvictionPolicy, PolicyContext
+from repro.prefetch.base import PrefetchContext, Prefetcher
+
+
+class IntervalClock:
+    """Mutable interval counter for policy contexts."""
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def __call__(self) -> int:
+        return self.value
+
+
+def attach_policy(
+    policy: EvictionPolicy,
+    config: SimConfig = None,
+    seed: int = 0,
+    interval: IntervalClock = None,
+):
+    """Attach a policy to a fresh chain/stats; returns (chain, stats, clock)."""
+    chain = ChunkChain()
+    stats = SimStats()
+    clock = interval or IntervalClock()
+    policy.attach(
+        PolicyContext(
+            chain=chain,
+            stats=stats,
+            config=config or SimConfig(),
+            rng=random.Random(seed),
+            get_interval=clock,
+        )
+    )
+    return chain, stats, clock
+
+
+def attach_prefetcher(prefetcher: Prefetcher, config: SimConfig = None) -> SimStats:
+    stats = SimStats()
+    prefetcher.attach(PrefetchContext(config=config or SimConfig(), stats=stats))
+    return stats
+
+
+def full_entry(chunk_id: int, interval: int = 0, touched: int = 0xFFFF) -> ChunkEntry:
+    """A fully resident chunk entry with the given touched mask."""
+    entry = ChunkEntry(chunk_id, interval)
+    entry.resident_mask = 0xFFFF
+    entry.touched_mask = touched
+    return entry
+
+
+def populate(policy: EvictionPolicy, chunk_ids: List[int], interval: int = 0,
+             touched: int = 0xFFFF) -> List[ChunkEntry]:
+    """Insert fully resident chunks via the policy's own insert hook."""
+    entries = []
+    for cid in chunk_ids:
+        entry = full_entry(cid, interval, touched)
+        policy.insert_chunk(entry, time=0)
+        entries.append(entry)
+    return entries
+
+
+def never_skip(vpn: int) -> bool:
+    return False

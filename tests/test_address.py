@@ -1,0 +1,40 @@
+"""Address arithmetic (repro.memsim.address)."""
+
+from repro.memsim.address import (
+    chunk_base_vpn,
+    chunk_of,
+    chunk_vpns,
+    page_index_in_chunk,
+)
+
+
+class TestChunkMath:
+    def test_chunk_of_boundaries(self):
+        assert chunk_of(0) == 0
+        assert chunk_of(15) == 0
+        assert chunk_of(16) == 1
+        assert chunk_of(31) == 1
+
+    def test_base_vpn(self):
+        assert chunk_base_vpn(0) == 0
+        assert chunk_base_vpn(3) == 48
+
+    def test_chunk_vpns_covers_exactly_one_chunk(self):
+        vpns = chunk_vpns(2)
+        assert vpns == list(range(32, 48))
+        assert len(vpns) == 16
+
+    def test_page_index(self):
+        assert page_index_in_chunk(32) == 0
+        assert page_index_in_chunk(47) == 15
+
+    def test_roundtrip(self):
+        for vpn in (0, 1, 15, 16, 12345, 0x80000):
+            c = chunk_of(vpn)
+            idx = page_index_in_chunk(vpn)
+            assert chunk_base_vpn(c) + idx == vpn
+
+    def test_custom_chunk_size(self):
+        assert chunk_of(7, pages_per_chunk=4) == 1
+        assert chunk_vpns(1, pages_per_chunk=4) == [4, 5, 6, 7]
+        assert page_index_in_chunk(7, pages_per_chunk=4) == 3

@@ -1,0 +1,104 @@
+"""Command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "SRD"])
+        assert args.setup == "cppe"
+        assert args.rate == 0.5
+
+    def test_unknown_setup_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "SRD", "--setup", "magic"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "SRD" in out and "Polybench" in out
+        assert out.count("\n") >= 24  # 23 apps + header
+
+    def test_run_table_output(self, capsys):
+        assert main(["run", "STN", "--rate", "0.5", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "total_cycles" in out
+        assert "STN@50%" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(
+            ["run", "STN", "--rate", "0.5", "--scale", "0.5", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "STN"
+        assert payload["total_cycles"] > 0
+        assert not payload["crashed"]
+
+    def test_run_with_baseline_speedup(self, capsys):
+        assert main(
+            ["run", "STN", "--rate", "0.5", "--scale", "0.5",
+             "--baseline", "baseline"]
+        ) == 0
+        assert "speedup over baseline" in capsys.readouterr().out
+
+    def test_run_unlimited_rate(self, capsys):
+        assert main(["run", "STN", "--rate", "1.0", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "chunks_evicted      | 0" in out.replace("  ", " ") or "0" in out
+
+    def test_figure_subset(self, capsys):
+        assert main(
+            ["figure", "fig8", "--apps", "STN", "--scale", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "STN" in out
+
+    def test_table_subset(self, capsys):
+        assert main(
+            ["table", "table3", "--apps", "STN", "--scale", "1.0"]
+        ) == 0
+        assert "max untouch" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_profile_output(self, capsys):
+        assert main(["trace", "NW", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "stride" in out and "working set per quarter" in out
+
+    def test_save_trace(self, capsys, tmp_path):
+        path = tmp_path / "nw.npz"
+        assert main(["trace", "NW", "--scale", "0.25", "--save", str(path)]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_output(self, capsys):
+        assert main(
+            ["sweep", "STN", "--rates", "1.0", "0.5", "--scale", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slowdown vs capacity" in out
+        assert "100%" in out and "50%" in out
+
+    def test_knee_reported(self, capsys):
+        assert main(
+            ["sweep", "STN", "--rates", "1.0", "0.5", "--scale", "0.5",
+             "--knee-threshold", "1.5"]
+        ) == 0
+        assert "knee" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Configuration validation (repro.config)."""
+
+import pytest
+
+from repro.config import (
+    HPEConfig,
+    MHPEConfig,
+    PageWalkCacheConfig,
+    PatternBufferConfig,
+    SimConfig,
+    SMConfig,
+    TLBConfig,
+    TranslationConfig,
+    UVMConfig,
+    WalkerConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestTLBConfig:
+    def test_table1_l1_defaults(self):
+        cfg = TLBConfig()
+        assert cfg.entries == 128
+        assert cfg.hit_latency == 1
+        assert cfg.num_sets == 1  # fully associative
+
+    def test_table1_l2(self):
+        cfg = TLBConfig(entries=512, associativity=16, hit_latency=10)
+        assert cfg.num_sets == 32
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(entries=0)
+
+    def test_rejects_non_dividing_associativity(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(entries=128, associativity=7)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(hit_latency=-1)
+
+
+class TestPageWalkCacheConfig:
+    def test_table1_defaults(self):
+        cfg = PageWalkCacheConfig()
+        assert cfg.size_bytes == 8 * 1024
+        assert cfg.entries == 1024
+        assert cfg.latency == 10
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            PageWalkCacheConfig(size_bytes=0)
+
+
+class TestWalkerConfig:
+    def test_table1_defaults(self):
+        cfg = WalkerConfig()
+        assert cfg.concurrent_walks == 64
+        assert cfg.levels == 4
+
+    def test_rejects_zero_walks(self):
+        with pytest.raises(ConfigError):
+            WalkerConfig(concurrent_walks=0)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ConfigError):
+            WalkerConfig(levels=0)
+
+
+class TestSMConfig:
+    def test_table1_defaults(self):
+        cfg = SMConfig()
+        assert cfg.num_sms == 28
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigError):
+            SMConfig(num_sms=0)
+
+    def test_rejects_zero_outstanding(self):
+        with pytest.raises(ConfigError):
+            SMConfig(max_outstanding_faults=0)
+
+    def test_rejects_zero_burst(self):
+        with pytest.raises(ConfigError):
+            SMConfig(burst_length=0)
+
+
+class TestUVMConfig:
+    def test_paper_geometry(self):
+        cfg = UVMConfig()
+        assert cfg.pages_per_chunk == 16
+        assert cfg.interval_pages == 64
+        assert cfg.chunks_per_interval == 4
+        assert cfg.fault_latency_cycles == 28000
+
+    def test_interval_must_be_chunk_multiple(self):
+        with pytest.raises(ConfigError):
+            UVMConfig(interval_pages=50)
+
+    def test_rejects_zero_parallelism(self):
+        with pytest.raises(ConfigError):
+            UVMConfig(fault_parallelism=0)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ConfigError):
+            UVMConfig(write_fraction=1.5)
+
+    def test_page_transfer_cycles_positive(self):
+        assert UVMConfig().page_transfer_cycles > 0
+
+
+class TestMHPEConfig:
+    def test_paper_thresholds(self):
+        cfg = MHPEConfig()
+        assert (cfg.t1, cfg.t2, cfg.t3) == (32, 40, 32)
+        assert (cfg.init_lo, cfg.init_hi) == (2, 8)
+
+    def test_rejects_inverted_init_range(self):
+        with pytest.raises(ConfigError):
+            MHPEConfig(init_lo=9, init_hi=8)
+
+    def test_rejects_nonpositive_thresholds(self):
+        with pytest.raises(ConfigError):
+            MHPEConfig(t1=0)
+
+
+class TestPatternBufferConfig:
+    def test_paper_defaults(self):
+        cfg = PatternBufferConfig()
+        assert cfg.min_untouch_level == 8
+        assert cfg.deletion_scheme == 2  # the paper adopts Scheme-2
+        assert cfg.lru_only
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            PatternBufferConfig(deletion_scheme=3)
+
+    def test_rejects_negative_min_untouch(self):
+        with pytest.raises(ConfigError):
+            PatternBufferConfig(min_untouch_level=-1)
+
+
+class TestSimConfig:
+    def test_with_replaces_field(self):
+        cfg = SimConfig()
+        cfg2 = cfg.with_(seed=99)
+        assert cfg2.seed == 99
+        assert cfg.seed == 0  # original untouched (frozen dataclass)
+
+    def test_nested_defaults_compose(self):
+        cfg = SimConfig()
+        assert cfg.translation.l2.entries == 512
+        assert cfg.uvm.interconnect_gbps == 16.0
+        assert isinstance(cfg.hpe, HPEConfig)

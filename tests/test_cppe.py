@@ -1,0 +1,100 @@
+"""CPPE coordination (repro.core.cppe) — the eviction/prefetch handshake."""
+
+import numpy as np
+
+from repro.config import MHPEConfig, PatternBufferConfig, SimConfig, SMConfig
+from repro.core.cppe import CPPE
+from repro.engine.simulator import Simulator
+from repro.policies.mhpe import MHPEPolicy
+from repro.prefetch.pattern_aware import PatternAwarePrefetcher
+from repro.workloads.base import Workload
+
+from conftest import make_simple_workload
+
+
+def strided_workload(footprint=512, stride=2, sweeps=4):
+    """A cyclic stride-2 workload: the pattern buffer's bread and butter."""
+    strided = np.arange(0, footprint, stride, dtype=np.int64)
+    return Workload(
+        name="strided",
+        pattern_type="III",
+        footprint_pages=footprint,
+        accesses=np.tile(strided, sweeps),
+    )
+
+
+class TestConstruction:
+    def test_create_returns_fresh_pair(self):
+        a, b = CPPE.create(), CPPE.create()
+        assert isinstance(a.policy, MHPEPolicy)
+        assert isinstance(a.prefetcher, PatternAwarePrefetcher)
+        assert a.policy is not b.policy
+        assert a.prefetcher is not b.prefetcher
+
+    def test_scheme_selector(self):
+        s1 = CPPE.scheme(1)
+        assert s1.prefetcher._cfg_override.deletion_scheme == 1
+        s2 = CPPE.scheme(2)
+        assert s2.prefetcher._cfg_override.deletion_scheme == 2
+
+    def test_custom_configs_propagate(self):
+        pair = CPPE.create(mhpe_config=MHPEConfig(t3=40))
+        assert pair.policy._cfg_override.t3 == 40
+
+
+class TestCoordination:
+    def _run(self, pair, workload=None, config=None):
+        wl = workload or strided_workload()
+        cfg = config or SimConfig(sm=SMConfig(num_sms=4))
+        return Simulator(
+            wl,
+            policy=pair.policy,
+            prefetcher=pair.prefetcher,
+            oversubscription=0.5,
+            config=cfg,
+        ).run()
+
+    def test_pattern_buffer_fed_by_evictions(self):
+        pair = CPPE.create()
+        result = self._run(pair)
+        # Stride-2 chunks have untouch 8 and MHPE switches to LRU, so the
+        # pattern buffer fills and is consulted.
+        assert result.stats.pattern_inserts > 0
+        assert result.stats.pattern_hits > 0
+
+    def test_pattern_prefetch_migrates_fewer_pages(self):
+        from repro.policies.lru import LRUPolicy
+        from repro.prefetch.locality import LocalityPrefetcher
+
+        cfg = SimConfig(sm=SMConfig(num_sms=4))
+        wl = strided_workload()
+        naive = Simulator(
+            wl, policy=LRUPolicy(), prefetcher=LocalityPrefetcher("continue"),
+            oversubscription=0.5, config=cfg,
+        ).run()
+        pair = CPPE.create()
+        coordinated = self._run(pair, workload=strided_workload())
+        assert coordinated.stats.pages_migrated < naive.stats.pages_migrated
+        assert coordinated.stats.bytes_host_to_device < naive.stats.bytes_host_to_device
+
+    def test_lru_only_gating(self):
+        # With lru_only and a workload that never switches (no untouch),
+        # the pattern buffer must stay empty.
+        pair = CPPE.create()
+        wl = make_simple_workload()  # full-touch cyclic: untouch ~0
+        result = self._run(pair, workload=wl)
+        assert result.stats.final_strategy == "mru"
+        assert result.stats.pattern_inserts == 0
+
+    def test_lru_only_disabled_records_under_mru(self):
+        pair = CPPE.create(
+            pattern_config=PatternBufferConfig(lru_only=False, min_untouch_level=1)
+        )
+        result = self._run(pair)
+        assert result.stats.pattern_inserts > 0
+
+    def test_strategy_switch_reported(self):
+        pair = CPPE.create()
+        result = self._run(pair)
+        assert result.stats.final_strategy == "lru"
+        assert result.stats.strategy_switch_time is not None

@@ -1,0 +1,72 @@
+"""Frame allocator (repro.memsim.device_memory)."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.memsim.device_memory import DeviceMemory
+
+
+class TestAllocation:
+    def test_initial_state(self):
+        mem = DeviceMemory(8)
+        assert mem.capacity == 8
+        assert mem.free_frames == 8
+        assert mem.allocated_frames == 0
+        assert not mem.is_full
+
+    def test_allocate_unique_frames(self):
+        mem = DeviceMemory(8)
+        frames = [mem.allocate() for _ in range(8)]
+        assert sorted(frames) == list(range(8))
+        assert mem.is_full
+
+    def test_exhaustion_raises(self):
+        mem = DeviceMemory(2)
+        mem.allocate()
+        mem.allocate()
+        with pytest.raises(CapacityError):
+            mem.allocate()
+
+    def test_can_allocate(self):
+        mem = DeviceMemory(4)
+        assert mem.can_allocate(4)
+        assert not mem.can_allocate(5)
+        mem.allocate()
+        assert mem.can_allocate(3)
+        assert not mem.can_allocate(4)
+
+    def test_peak_tracking(self):
+        mem = DeviceMemory(4)
+        a = mem.allocate()
+        b = mem.allocate()
+        mem.free(a)
+        mem.free(b)
+        assert mem.peak_allocated == 2
+
+
+class TestFree:
+    def test_free_returns_frame_to_pool(self):
+        mem = DeviceMemory(1)
+        f = mem.allocate()
+        assert mem.is_full
+        mem.free(f)
+        assert mem.free_frames == 1
+        assert mem.allocate() == f
+
+    def test_free_out_of_range(self):
+        mem = DeviceMemory(4)
+        with pytest.raises(CapacityError):
+            mem.free(4)
+        with pytest.raises(CapacityError):
+            mem.free(-1)
+
+    def test_double_free_detected(self):
+        mem = DeviceMemory(2)
+        f = mem.allocate()
+        mem.free(f)
+        with pytest.raises(CapacityError):
+            mem.free(f)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            DeviceMemory(0)

@@ -1,0 +1,118 @@
+"""GDDR5 channel model (repro.memsim.dram) and walker integration."""
+
+import pytest
+
+from repro.config import (
+    PageWalkCacheConfig,
+    SimConfig,
+    SMConfig,
+    TranslationConfig,
+    WalkerConfig,
+)
+from repro.errors import ConfigError
+from repro.memsim.dram import DRAMConfig, DRAMModel
+from repro.memsim.page_table import PageTable
+from repro.translation.page_walk_cache import PageWalkCache
+from repro.translation.walker import PageTableWalker
+
+from conftest import make_simple_workload
+
+
+class TestDRAMConfig:
+    def test_table1_defaults(self):
+        cfg = DRAMConfig()
+        assert cfg.channels == 12
+
+    def test_invalid_channels(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(channels=0)
+
+    def test_invalid_timing(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(row_hit_cycles=100, row_miss_cycles=50)
+
+
+class TestDRAMModel:
+    def test_first_access_is_row_miss(self):
+        dram = DRAMModel()
+        lat = dram.read(0x1000, time=0)
+        assert lat == dram.config.row_miss_cycles
+        assert dram.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = DRAMModel()
+        dram.read(0x1000, time=0)
+        lat = dram.read(0x1008, time=10_000)  # same 2 KB row
+        assert lat == dram.config.row_hit_cycles
+        assert dram.row_hit_rate == 0.5
+
+    def test_row_conflict_reopens(self):
+        dram = DRAMModel(DRAMConfig(channels=1, banks_per_channel=1))
+        dram.read(0, time=0)
+        dram.read(4096, time=10_000)  # different row, same bank
+        lat = dram.read(0, time=20_000)  # original row closed again
+        assert lat == dram.config.row_miss_cycles
+
+    def test_channel_queueing(self):
+        dram = DRAMModel(DRAMConfig(channels=1))
+        first = dram.read(0, time=0)
+        second = dram.read(1 << 20, time=0)  # same (only) channel, busy
+        assert second > first
+        assert dram.total_queue_cycles > 0
+
+    def test_channels_are_independent(self):
+        dram = DRAMModel()
+        # Find two addresses on different channels.
+        c0 = dram._map(0)[0]
+        other = next(
+            a for a in range(0, 1 << 22, 2048) if dram._map(a)[0] != c0
+        )
+        dram.read(0, time=0)
+        lat = dram.read(other, time=0)
+        assert lat == dram.config.row_miss_cycles  # no queueing
+
+    def test_read_counter(self):
+        dram = DRAMModel()
+        for i in range(5):
+            dram.read(i * 4096, time=i * 1000)
+        assert dram.reads == 5
+
+
+class TestWalkerWithDRAM:
+    def test_walk_latency_uses_dram(self):
+        pt = PageTable()
+        pwc = PageWalkCache(PageWalkCacheConfig())
+        dram = DRAMModel()
+        walker = PageTableWalker(WalkerConfig(), pt, pwc, dram=dram)
+        latency, _ = walker.walk(100, time=0)
+        assert dram.reads == 4  # all levels fetched cold
+        assert latency >= pwc.latency + 4 * dram.config.row_hit_cycles
+
+    def test_simulation_with_dram_model(self):
+        from repro.engine.simulator import Simulator
+
+        cfg = SimConfig(
+            sm=SMConfig(num_sms=4),
+            translation=TranslationConfig(use_dram_model=True),
+        )
+        wl = make_simple_workload()
+        result = Simulator(wl, oversubscription=0.5, config=cfg).run()
+        assert result.total_cycles > 0
+        assert result.stats.page_walks > 0
+
+    def test_dram_model_changes_walk_costs(self):
+        from repro.engine.simulator import Simulator
+
+        def run(use_dram):
+            cfg = SimConfig(
+                sm=SMConfig(num_sms=4),
+                translation=TranslationConfig(use_dram_model=use_dram),
+            )
+            return Simulator(
+                make_simple_workload(), oversubscription=None, config=cfg
+            ).run()
+
+        flat, dram = run(False), run(True)
+        # Same work, different walk timing model.
+        assert flat.stats.page_walks == dram.stats.page_walks
+        assert flat.total_cycles != dram.total_cycles

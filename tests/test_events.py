@@ -1,0 +1,107 @@
+"""Event queue (repro.engine.events)."""
+
+import pytest
+
+from repro.engine.events import Event, EventQueue
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(30, lambda t: fired.append(("c", t)))
+        q.schedule(10, lambda t: fired.append(("a", t)))
+        q.schedule(20, lambda t: fired.append(("b", t)))
+        q.run()
+        assert fired == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_ties_break_by_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, lambda t: fired.append("first"))
+        q.schedule(5, lambda t: fired.append("second"))
+        q.run()
+        assert fired == ["first", "second"]
+
+    def test_now_advances_with_pops(self):
+        q = EventQueue()
+        q.schedule(42, lambda t: None)
+        assert q.now == 0
+        q.run()
+        assert q.now == 42
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda t: q.schedule_after(5, lambda t2: fired.append(t2)))
+        q.run()
+        assert fired == [15]
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.schedule(10, lambda t: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule(5, lambda t: None)
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule_after(-1, lambda t: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(10, lambda t: fired.append("cancelled"))
+        q.schedule(20, lambda t: fired.append("kept"))
+        ev.cancel()
+        q.run()
+        assert fired == ["kept"]
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(10, lambda t: None)
+        q.schedule(20, lambda t: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+
+class TestRun:
+    def test_run_returns_dispatch_count(self):
+        q = EventQueue()
+        for i in range(7):
+            q.schedule(i, lambda t: None)
+        assert q.run() == 7
+
+    def test_events_scheduled_during_run_are_dispatched(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if t < 5:
+                q.schedule(t + 1, chain)
+
+        q.schedule(0, chain)
+        q.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever(t):
+            q.schedule(t + 1, forever)
+
+        q.schedule(0, forever)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)
+
+    def test_empty_queue_returns_zero(self):
+        assert EventQueue().run() == 0
+
+    def test_pop_returns_none_when_empty(self):
+        assert EventQueue().pop() is None

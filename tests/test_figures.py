@@ -1,0 +1,82 @@
+"""Figure regenerators on cheap subsets (repro.harness.figures)."""
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.experiment import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+SMALL = dict(scale=0.25)
+
+
+class TestFig3:
+    def test_structure(self):
+        r = figures.fig3(apps=["STN", "B+T"], **SMALL)
+        assert set(r.series) == {"random", "lru-20"}
+        assert set(r.series["random"]) == {"STN", "B+T"}
+        assert r.averages
+        assert "fig3" == r.name
+
+    def test_values_are_positive_speedups(self):
+        r = figures.fig3(apps=["STN"], **SMALL)
+        for points in r.series.values():
+            for v in points.values():
+                assert v is not None and v > 0
+
+
+class TestFig4:
+    def test_only_apps_above_threshold_shown(self):
+        r = figures.fig4(apps=["MVT", "HOT"], threshold=1.2, **SMALL)
+        shown = r.series["eviction-ratio"]
+        for v in shown.values():
+            assert v >= 1.2
+
+    def test_mvt_ratio_is_large(self):
+        r = figures.fig4(apps=["MVT"], threshold=1.0, **SMALL)
+        assert r.series["eviction-ratio"]["MVT"] > 2.0
+
+
+class TestFig7:
+    def test_both_schemes_reported_per_rate(self):
+        r = figures.fig7(apps=["NW"], rates=(0.5,), **SMALL)
+        assert set(r.series) == {"scheme-1@50%", "scheme-2@50%"}
+
+
+class TestFig8:
+    def test_series_per_rate(self):
+        r = figures.fig8(apps=["STN", "HOT"], rates=(0.75, 0.5), **SMALL)
+        assert set(r.series) == {"cppe@75%", "cppe@50%"}
+        assert len(r.series["cppe@75%"]) == 2
+
+    def test_render_smoke(self):
+        r = figures.fig8(apps=["STN"], rates=(0.5,), **SMALL)
+        out = r.render()
+        assert "fig8" in out and "STN" in out
+
+
+class TestFig9:
+    def test_four_comparison_setups(self):
+        r = figures.fig9(apps=["STN"], rates=(0.5,), **SMALL)
+        assert set(r.series) == {
+            "random@50%", "lru-10@50%", "lru-20@50%", "cppe@50%"
+        }
+
+
+class TestFig10:
+    def test_stop_and_cppe_series(self):
+        r = figures.fig10(apps=["HOT", "NW"], rates=(0.5,), **SMALL)
+        assert set(r.series) == {"stop-on-full@50%", "cppe@50%"}
+
+    def test_crash_budget_normalises_to_stop(self):
+        r = figures.fig10(
+            apps=["MVT"], rates=(0.5,), crash_budget=0.1, **SMALL
+        )
+        # With the baseline crashed, stop-on-full becomes the reference.
+        assert r.series["stop-on-full@50%"]["MVT"] == 1.0
+        assert any("crashed" in n for n in r.notes)

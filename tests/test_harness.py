@@ -1,0 +1,118 @@
+"""Harness: named setups, run specs, memoisation, rendering (repro.harness)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.baselines import (
+    POLICY_NAMES,
+    PREFETCHER_NAMES,
+    SETUPS,
+    build_policy,
+    build_prefetcher,
+    build_setup,
+)
+from repro.harness.experiment import RunSpec, clear_cache, run_matrix, run_one
+from repro.harness.report import format_value, render_series, render_table
+
+
+class TestBaselines:
+    def test_all_named_policies_build(self):
+        for name in POLICY_NAMES:
+            policy = build_policy(name)
+            assert hasattr(policy, "select_victims")
+
+    def test_all_named_prefetchers_build(self):
+        for name in PREFETCHER_NAMES:
+            pf = build_prefetcher(name)
+            assert hasattr(pf, "pages_to_migrate")
+
+    def test_all_setups_resolve(self):
+        for name in SETUPS:
+            policy, prefetcher = build_setup(name)
+            assert policy is not None and prefetcher is not None
+
+    def test_setups_return_fresh_instances(self):
+        p1, f1 = build_setup("cppe")
+        p2, f2 = build_setup("cppe")
+        assert p1 is not p2 and f1 is not f2
+
+    def test_baseline_is_lru_plus_naive_locality(self):
+        policy, prefetcher = build_setup("baseline")
+        assert policy.name == "lru"
+        assert prefetcher.name == "locality/continue"
+
+    def test_cppe_is_mhpe_plus_pattern_s2(self):
+        policy, prefetcher = build_setup("cppe")
+        assert policy.name == "mhpe"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigError):
+            build_policy("fifo")
+        with pytest.raises(ConfigError):
+            build_prefetcher("psychic")
+        with pytest.raises(ConfigError):
+            build_setup("warp-drive")
+
+
+class TestRunSpecs:
+    def test_run_one_produces_result(self):
+        clear_cache()
+        result = run_one(RunSpec("STN", "baseline", 0.5, scale=0.25))
+        assert result.workload == "STN"
+        assert result.total_cycles > 0
+
+    def test_memoisation_returns_same_object(self):
+        clear_cache()
+        spec = RunSpec("STN", "baseline", 0.5, scale=0.25)
+        assert run_one(spec) is run_one(spec)
+
+    def test_cache_bypass(self):
+        clear_cache()
+        spec = RunSpec("STN", "baseline", 0.5, scale=0.25)
+        a = run_one(spec)
+        b = run_one(spec, use_cache=False)
+        assert a is not b
+        assert a.total_cycles == b.total_cycles  # still deterministic
+
+    def test_run_matrix_keys(self):
+        clear_cache()
+        specs = [
+            RunSpec("STN", "baseline", 0.5, scale=0.25),
+            RunSpec("STN", "cppe", 0.5, scale=0.25),
+        ]
+        results = run_matrix(specs)
+        assert set(results) == {s.key() for s in specs}
+
+    def test_crash_budget_flows_into_config(self):
+        clear_cache()
+        result = run_one(
+            RunSpec("MVT", "baseline", 0.5, scale=0.25, crash_budget_factor=0.1)
+        )
+        assert result.crashed
+        assert "thrashing" in result.crash_reason
+
+
+class TestReportRendering:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(1.234) == "1.23"
+        assert format_value("x") == "x"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_render_table_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_render_series_bars_and_crashes(self):
+        out = render_series(
+            {"cppe": {"SRD": 2.0, "MVT": None}},
+            title="demo",
+        )
+        assert "SRD" in out and "##" in out
+        assert "X (crashed)" in out

@@ -1,0 +1,137 @@
+"""Cross-module integration: full simulations exercising every subsystem."""
+
+import numpy as np
+import pytest
+
+from repro import SimConfig, Simulator, make_workload
+from repro.config import SMConfig, TranslationConfig, UVMConfig
+from repro.core.cppe import CPPE
+from repro.harness.baselines import SETUPS, build_setup
+from repro.policies.hpe import HPEPolicy
+from repro.policies.lru import LRUPolicy
+from repro.prefetch.disabled import DisabledPrefetcher
+from repro.prefetch.locality import LocalityPrefetcher
+from repro.prefetch.tree_neighborhood import TreeNeighborhoodPrefetcher
+
+from conftest import make_simple_workload
+
+FAST = SimConfig(sm=SMConfig(num_sms=4))
+
+
+class TestEverySetupRuns:
+    @pytest.mark.parametrize("setup", sorted(SETUPS))
+    def test_setup_completes_under_oversubscription(self, setup):
+        wl = make_workload("STN", scale=0.5)
+        policy, prefetcher = build_setup(setup)
+        result = Simulator(
+            wl, policy=policy, prefetcher=prefetcher,
+            oversubscription=0.5, config=FAST,
+        ).run()
+        assert result.total_cycles > 0
+        assert result.stats.accesses == wl.num_accesses
+        assert not result.crashed
+
+
+class TestPrefetchAmortisation:
+    def test_locality_prefetch_reduces_service_ops(self):
+        wl = make_simple_workload(
+            footprint=256, accesses=np.arange(256), pattern_type="I"
+        )
+        demand = Simulator(
+            wl, prefetcher=DisabledPrefetcher(), oversubscription=None, config=FAST
+        ).run()
+        wl2 = make_simple_workload(
+            footprint=256, accesses=np.arange(256), pattern_type="I"
+        )
+        prefetch = Simulator(
+            wl2, prefetcher=LocalityPrefetcher("continue"),
+            oversubscription=None, config=FAST,
+        ).run()
+        # 16 pages per service op instead of (at best) a few merged faults.
+        assert prefetch.stats.fault_service_ops < demand.stats.fault_service_ops
+        assert prefetch.total_cycles < demand.total_cycles
+
+    def test_tree_prefetcher_migrates_at_least_chunk_granularity(self):
+        wl = make_simple_workload(
+            footprint=512, accesses=np.arange(512), pattern_type="I"
+        )
+        result = Simulator(
+            wl, prefetcher=TreeNeighborhoodPrefetcher(),
+            oversubscription=None, config=FAST,
+        ).run()
+        assert result.stats.fault_service_ops <= 512 // 16
+
+
+class TestThrashingDynamics:
+    def test_lru_thrashes_on_cyclic_sweeps(self):
+        wl = make_simple_workload()  # 3 cyclic sweeps of 256 pages
+        result = Simulator(
+            wl, policy=LRUPolicy(), oversubscription=0.5, config=FAST
+        ).run()
+        # Under LRU at 50%, (nearly) every sweep access re-faults.
+        assert result.stats.chunks_evicted > wl.footprint_chunks
+
+    def test_cppe_beats_baseline_on_thrashing(self):
+        wl = make_workload("STN", scale=0.5)
+        base = Simulator(
+            wl, policy=LRUPolicy(), prefetcher=LocalityPrefetcher("continue"),
+            oversubscription=0.5, config=FAST,
+        ).run()
+        pair = CPPE.create()
+        cppe = Simulator(
+            make_workload("STN", scale=0.5),
+            policy=pair.policy, prefetcher=pair.prefetcher,
+            oversubscription=0.5, config=FAST,
+        ).run()
+        assert cppe.speedup_over(base) > 1.0
+
+    def test_hpe_counter_pollution_under_prefetch(self):
+        # With prefetching, every chunk's counter saturates at migration, so
+        # HPE classifies even an irregular app as 'regular' (Inefficiency 1).
+        wl = make_workload("B+T", scale=0.5)
+        policy = HPEPolicy()
+        Simulator(
+            wl, policy=policy, prefetcher=LocalityPrefetcher("continue"),
+            oversubscription=0.5, config=FAST,
+        ).run()
+        assert policy._category == "regular"
+
+
+class TestOversubscriptionScaling:
+    def test_more_memory_is_never_slower(self):
+        results = {}
+        for rate in (None, 0.75, 0.5):
+            wl = make_workload("HSD", scale=0.5)
+            results[rate] = Simulator(
+                wl, oversubscription=rate, config=FAST
+            ).run().total_cycles
+        assert results[None] <= results[0.75] <= results[0.5]
+
+    def test_unlimited_memory_has_no_evictions_for_all_types(self):
+        for app in ("HOT", "NW", "STN", "B+T"):
+            wl = make_workload(app, scale=0.25)
+            result = Simulator(wl, oversubscription=None, config=FAST).run()
+            assert result.stats.chunks_evicted == 0, app
+
+
+class TestFaultParallelismAblation:
+    def test_parallel_fault_servicing_helps(self):
+        # Block distribution puts each SM in its own region, so distinct
+        # chunks are in flight concurrently and extra service contexts help.
+        # (Interleaved SMs all fault on the same chunk and merge, so there
+        # parallelism is moot — see TestFaultMerging in test_gmmu.)
+        def run(par):
+            cfg = SimConfig(
+                sm=SMConfig(num_sms=4), uvm=UVMConfig(fault_parallelism=par)
+            )
+            wl = make_simple_workload(
+                footprint=1024,
+                accesses=np.arange(1024),
+                distribution="block",
+                pattern_type="I",
+            )
+            return Simulator(wl, oversubscription=None, config=cfg).run()
+
+        serial = run(1)
+        parallel = run(4)
+        assert parallel.total_cycles < serial.total_cycles

@@ -1,0 +1,73 @@
+"""Interval geometry: one interval == 64 migrated pages == 4 chunk
+prefetches (Section IV-B), and everything the policies derive from it."""
+
+import numpy as np
+
+from repro.config import SimConfig, SMConfig, TranslationConfig, UVMConfig
+from repro.engine.simulator import Simulator
+from repro.policies.mhpe import MHPEPolicy
+from repro.prefetch.locality import LocalityPrefetcher
+
+from conftest import make_simple_workload
+
+FAST = SimConfig(sm=SMConfig(num_sms=4), translation=TranslationConfig(enabled=False))
+
+
+def run_mhpe(workload, rate=0.5, config=FAST):
+    sim = Simulator(
+        workload,
+        policy=MHPEPolicy(),
+        prefetcher=LocalityPrefetcher("continue"),
+        oversubscription=rate,
+        config=config,
+    )
+    return sim, sim.run()
+
+
+class TestIntervalAccounting:
+    def test_intervals_match_pages_migrated(self):
+        sim, result = run_mhpe(make_simple_workload())
+        expected = result.stats.pages_migrated // 64
+        assert len(result.stats.intervals) == expected
+
+    def test_wrong_evictions_bounded_per_interval(self):
+        # W ranges 0..4: at most four chunk prefetches per interval.
+        sim, result = run_mhpe(make_simple_workload())
+        for record in result.stats.intervals:
+            assert 0 <= record.wrong_evictions <= 4 + 1  # +1: boundary slack
+
+    def test_untouch_bounded_by_evictions(self):
+        sim, result = run_mhpe(make_simple_workload())
+        for record in result.stats.intervals:
+            assert record.untouch_total <= 16 * max(record.chunks_evicted, 4)
+
+    def test_interval_end_times_monotone(self):
+        sim, result = run_mhpe(make_simple_workload())
+        times = [r.end_time for r in result.stats.intervals]
+        assert times == sorted(times)
+
+    def test_custom_interval_length(self):
+        cfg = SimConfig(
+            sm=SMConfig(num_sms=4),
+            uvm=UVMConfig(interval_pages=32),
+            translation=TranslationConfig(enabled=False),
+        )
+        sim, result = run_mhpe(make_simple_workload(), config=cfg)
+        expected = result.stats.pages_migrated // 32
+        assert len(result.stats.intervals) == expected
+
+
+class TestChainGeometry:
+    def test_chain_length_tracks_capacity(self):
+        sim, result = run_mhpe(make_simple_workload())
+        # 128-page capacity = 8 chunks: the chain can never exceed that.
+        assert result.stats.chain_length_peak <= 8
+
+    def test_unlimited_memory_chain_equals_footprint(self):
+        wl = make_simple_workload()
+        sim = Simulator(
+            wl, policy=MHPEPolicy(), prefetcher=LocalityPrefetcher("continue"),
+            oversubscription=None, config=FAST,
+        )
+        result = sim.run()
+        assert result.stats.chain_length_peak == wl.footprint_chunks

@@ -1,0 +1,51 @@
+"""LRU pre-eviction policy (repro.policies.lru)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.policies.lru import LRUPolicy
+
+from helpers import attach_policy, populate
+
+
+class TestSelection:
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy()
+        chain, _, _ = attach_policy(policy)
+        populate(policy, [1, 2, 3])
+        victims = policy.select_victims(16, time=0)
+        assert [v.chunk_id for v in victims] == [1]
+
+    def test_touch_refreshes_recency(self):
+        policy = LRUPolicy()
+        chain, _, _ = attach_policy(policy)
+        entries = populate(policy, [1, 2, 3])
+        policy.on_page_touched(entries[0], vpn=16, time=5)
+        victims = policy.select_victims(16, time=10)
+        assert [v.chunk_id for v in victims] == [2]
+
+    def test_evicts_enough_for_multi_chunk_request(self):
+        policy = LRUPolicy()
+        attach_policy(policy)
+        populate(policy, [1, 2, 3])
+        victims = policy.select_victims(20, time=0)  # > one chunk
+        assert [v.chunk_id for v in victims] == [1, 2]
+
+    def test_insufficient_memory_raises(self):
+        policy = LRUPolicy()
+        attach_policy(policy)
+        populate(policy, [1])
+        with pytest.raises(SimulationError):
+            policy.select_victims(17, time=0)
+
+    def test_partial_chunks_counted_by_resident_pages(self):
+        policy = LRUPolicy()
+        chain, _, _ = attach_policy(policy)
+        entries = populate(policy, [1, 2])
+        entries[0].resident_mask = 0b11  # only 2 pages resident
+        victims = policy.select_victims(10, time=0)
+        assert [v.chunk_id for v in victims] == [1, 2]
+
+    def test_name(self):
+        assert LRUPolicy().name == "lru"
+        assert LRUPolicy().current_strategy == "lru"

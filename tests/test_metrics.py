@@ -1,0 +1,106 @@
+"""Analysis metrics and overhead model (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.classify import classify_untouch_category, untouch_profile
+from repro.analysis.metrics import (
+    ENTRY_BYTES,
+    OverheadReport,
+    geomean,
+    mean,
+    normalize_to,
+    overhead_report,
+)
+from repro.engine.simulator import SimulationResult
+from repro.engine.stats import IntervalRecord, SimStats
+from repro.errors import SimulationError
+
+
+class TestAggregates:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == 2.0
+        assert geomean([2.0, 2.0]) == 2.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_normalize(self):
+        assert normalize_to([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalize_to([1.0], 0.0)
+
+
+class TestOverheadModel:
+    def _result(self, chain=100, evicted=24, pattern=40, rate=0.5):
+        r = SimulationResult("APP", "IV", "mhpe", "pattern", rate, 100, 200)
+        r.stats.chain_length_peak = chain
+        r.stats.evicted_buffer_length = evicted
+        r.stats.pattern_buffer_peak = pattern
+        return r
+
+    def test_entry_arithmetic_matches_paper(self):
+        # Section VI-C: 12 bytes per entry (8 B tag + 4 B bit set).
+        assert ENTRY_BYTES == 12
+        report = overhead_report(self._result())
+        assert report.total_entries == 164
+        assert report.total_bytes == 164 * 12
+        assert report.total_kb == pytest.approx(164 * 12 / 1024)
+
+    def test_pattern_buffer_fraction(self):
+        report = overhead_report(self._result(chain=100, pattern=40))
+        assert report.pattern_buffer_vs_chain == pytest.approx(0.4)
+
+    def test_zero_chain_fraction(self):
+        report = overhead_report(self._result(chain=0, pattern=0))
+        assert report.pattern_buffer_vs_chain == 0.0
+
+    def test_rejects_unlimited_memory_run(self):
+        r = self._result()
+        r.oversubscription = None
+        with pytest.raises(SimulationError):
+            overhead_report(r)
+
+
+class TestUntouchProfile:
+    def _result_with_intervals(self, specs):
+        r = SimulationResult("APP", "IV", "mhpe", "pattern", 0.5, 100, 200)
+        for i, (untouch, evicted) in enumerate(specs):
+            r.stats.record_interval(
+                IntervalRecord(index=i, untouch_total=untouch, chunks_evicted=evicted)
+            )
+        return r
+
+    def test_only_active_intervals_counted(self):
+        # Cold intervals (no evictions) precede the oversubscribed phase.
+        r = self._result_with_intervals(
+            [(0, 0), (0, 0), (10, 4), (20, 4), (5, 4), (1, 4), (99, 4)]
+        )
+        p = untouch_profile(r)
+        assert p.per_interval == [10, 20, 5, 1, 99]
+        assert p.max_first_four == 20
+        assert p.total_first_four == 36
+
+    def test_no_evictions(self):
+        p = untouch_profile(self._result_with_intervals([(0, 0)]))
+        assert p.max_first_four == 0
+        assert p.total_first_four == 0
+
+    def test_classification_thresholds(self):
+        high = untouch_profile(self._result_with_intervals([(40, 4)]))
+        assert classify_untouch_category(high) == "high-untouch"
+        medium = untouch_profile(
+            self._result_with_intervals([(12, 4), (12, 4), (12, 4), (12, 4)])
+        )
+        assert classify_untouch_category(medium) == "medium-untouch"
+        low = untouch_profile(self._result_with_intervals([(2, 4), (3, 4)]))
+        assert classify_untouch_category(low) == "low-untouch"

@@ -1,0 +1,114 @@
+"""Page table residency + access/dirty bits (repro.memsim.page_table)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim.page_table import PageTable
+
+
+class TestResidency:
+    def test_map_and_lookup(self):
+        pt = PageTable()
+        pt.map(100, 7)
+        assert pt.is_resident(100)
+        assert pt.frame_of(100) == 7
+        assert 100 in pt
+        assert len(pt) == 1
+
+    def test_unmapped_lookup(self):
+        pt = PageTable()
+        assert not pt.is_resident(5)
+        assert pt.frame_of(5) is None
+
+    def test_double_map_rejected(self):
+        pt = PageTable()
+        pt.map(1, 0)
+        with pytest.raises(SimulationError):
+            pt.map(1, 1)
+
+    def test_unmap_returns_frame_and_bits(self):
+        pt = PageTable()
+        pt.map(9, 3)
+        pt.record_access(9, is_write=True)
+        frame, accessed, dirty = pt.unmap(9)
+        assert (frame, accessed, dirty) == (3, True, True)
+        assert not pt.is_resident(9)
+
+    def test_unmap_missing_rejected(self):
+        with pytest.raises(SimulationError):
+            PageTable().unmap(1)
+
+    def test_resident_peak(self):
+        pt = PageTable()
+        pt.map(1, 0)
+        pt.map(2, 1)
+        pt.unmap(1)
+        assert pt.resident_peak == 2
+
+    def test_resident_vpns_sorted(self):
+        pt = PageTable()
+        for vpn in (30, 10, 20):
+            pt.map(vpn, vpn)
+        assert pt.resident_vpns() == [10, 20, 30]
+
+
+class TestAccessDirtyBits:
+    def test_fresh_page_is_untouched_and_clean(self):
+        pt = PageTable()
+        pt.map(4, 0)
+        assert not pt.accessed(4)
+        assert not pt.dirty(4)
+
+    def test_read_sets_accessed_only(self):
+        pt = PageTable()
+        pt.map(4, 0)
+        pt.record_access(4, is_write=False)
+        assert pt.accessed(4)
+        assert not pt.dirty(4)
+
+    def test_write_sets_both(self):
+        pt = PageTable()
+        pt.map(4, 0)
+        pt.record_access(4, is_write=True)
+        assert pt.accessed(4) and pt.dirty(4)
+
+    def test_access_nonresident_rejected(self):
+        with pytest.raises(SimulationError):
+            PageTable().record_access(4)
+
+    def test_remap_clears_bits(self):
+        # Eviction + re-migration must not inherit old access bits.
+        pt = PageTable()
+        pt.map(4, 0)
+        pt.record_access(4, is_write=True)
+        pt.unmap(4)
+        pt.map(4, 1)
+        assert not pt.accessed(4)
+        assert not pt.dirty(4)
+
+
+class TestWalkStructure:
+    def test_node_keys_count_matches_levels(self):
+        pt = PageTable(levels=4)
+        keys = pt.node_keys(0x12345)
+        assert len(keys) == 4
+        assert [k[0] for k in keys] == [0, 1, 2, 3]
+
+    def test_leaf_key_is_vpn(self):
+        pt = PageTable(levels=4)
+        assert pt.node_keys(0x12345)[-1] == (3, 0x12345)
+
+    def test_nearby_vpns_share_upper_levels(self):
+        pt = PageTable(levels=4)
+        a, b = pt.node_keys(1000), pt.node_keys(1001)
+        assert a[:3] == b[:3]
+        assert a[3] != b[3]
+
+    def test_distant_vpns_diverge_at_root(self):
+        pt = PageTable(levels=4)
+        a, b = pt.node_keys(0), pt.node_keys(1 << 30)
+        assert a[0] != b[0]
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(SimulationError):
+            PageTable(levels=0)

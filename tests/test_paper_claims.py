@@ -1,0 +1,134 @@
+"""Shape-level checks of the paper's headline claims.
+
+These tests run the real harness on representative applications (full
+scale, so the paper's fixed interval geometry applies) and assert the
+*direction and rough magnitude* of each claim — who wins and by what kind
+of factor — not absolute cycle counts.  They are the executable summary of
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness.experiment import RunSpec, run_one
+
+
+def speedup(app, setup, rate, reference="baseline"):
+    cand = run_one(RunSpec(app, setup, rate))
+    ref = run_one(RunSpec(app, reference, rate))
+    return cand.speedup_over(ref)
+
+
+class TestFig8Claims:
+    """CPPE vs the baseline (Section VI-B)."""
+
+    @pytest.mark.parametrize("app", ["SRD", "HSD", "MRQ", "STN"])
+    def test_cppe_wins_on_thrashing_type_iv(self, app):
+        assert speedup(app, "cppe", 0.5) > 1.2
+
+    @pytest.mark.parametrize("app", ["2DC", "3DC"])
+    def test_cppe_neutral_on_streaming_type_i(self, app):
+        assert speedup(app, "cppe", 0.5) == pytest.approx(1.0, abs=0.1)
+
+    @pytest.mark.parametrize("app", ["B+T", "HYB"])
+    def test_cppe_close_to_baseline_on_type_vi(self, app):
+        # Paper: similar to baseline (LRU-friendly); slight loss tolerated.
+        assert speedup(app, "cppe", 0.5) > 0.8
+
+    @pytest.mark.parametrize("app", ["MVT", "BIC"])
+    def test_cppe_rescues_strided_crashers(self, app):
+        assert speedup(app, "cppe", 0.5) > 2.0
+
+    @pytest.mark.parametrize("app", ["SAD", "NW", "HIS"])
+    def test_pattern_prefetcher_wins_on_severe_thrashers(self, app):
+        assert speedup(app, "cppe", 0.5) > 1.3
+
+    def test_average_speedup_band(self):
+        # Paper: 1.56x/1.64x average.  Accept a generous band around it.
+        apps = ["HOT", "BKP", "SAD", "NW", "MVT", "SRD", "HSD", "STN",
+                "HIS", "B+T", "HYB"]
+        speedups = [speedup(a, "cppe", 0.5) for a in apps]
+        avg = sum(speedups) / len(speedups)
+        assert 1.2 < avg < 2.5
+
+
+class TestFig3Claims:
+    """Reserved LRU's limits (Inefficiency 2)."""
+
+    def test_reserved_lru_gain_on_thrashing_is_limited(self):
+        # Gains exist but stay well below CPPE's.
+        for app in ("HSD", "MRQ", "STN"):
+            reserved = speedup(app, "lru-20", 0.5)
+            cppe = speedup(app, "cppe", 0.5)
+            assert reserved < cppe
+
+    @pytest.mark.parametrize("app", ["B+T", "HYB"])
+    def test_reserved_lru_hurts_capacity_sensitive_type_vi(self, app):
+        assert speedup(app, "lru-20", 0.5) < 0.9
+
+    @pytest.mark.parametrize("app", ["B+T", "HYB"])
+    def test_random_hurts_type_vi(self, app):
+        assert speedup(app, "random", 0.5) < 0.9
+
+
+class TestFig4Claims:
+    """Naive prefetch under oversubscription thrashes (Inefficiency 3)."""
+
+    @pytest.mark.parametrize("app", ["SAD", "NW", "MVT", "BIC"])
+    def test_prefetch_always_multiplies_evictions(self, app):
+        always = run_one(RunSpec(app, "baseline", 0.5))
+        off = run_one(RunSpec(app, "stop-on-full", 0.5))
+        ratio = always.stats.chunks_evicted / max(1, off.stats.chunks_evicted)
+        assert ratio > 2.0
+
+    def test_streaming_apps_unaffected(self):
+        always = run_one(RunSpec("2DC", "baseline", 0.5))
+        off = run_one(RunSpec("2DC", "stop-on-full", 0.5))
+        ratio = always.stats.chunks_evicted / max(1, off.stats.chunks_evicted)
+        assert ratio < 1.2
+
+
+class TestFig10Claims:
+    """Disabling prefetch when full is not one-size-fits-all."""
+
+    @pytest.mark.parametrize("app", ["HOT", "2DC", "HSD"])
+    def test_disabling_prefetch_slows_regular_apps(self, app):
+        assert speedup(app, "stop-on-full", 0.5) < 0.9
+
+    @pytest.mark.parametrize("app", ["MVT", "BIC"])
+    def test_disabling_prefetch_helps_severe_thrashers(self, app):
+        assert speedup(app, "stop-on-full", 0.5) > 1.0
+
+    @pytest.mark.parametrize("app", ["MVT", "BIC", "NW"])
+    def test_cppe_beats_disabling_prefetch(self, app):
+        cppe = run_one(RunSpec(app, "cppe", 0.5))
+        stop = run_one(RunSpec(app, "stop-on-full", 0.5))
+        assert cppe.speedup_over(stop) > 1.0
+
+
+class TestFig7Claims:
+    """Pattern deletion schemes (Section VI-B)."""
+
+    def test_scheme2_wins_for_fixed_stride_his(self):
+        s1 = run_one(RunSpec("HIS", "cppe-s1", 0.5))
+        s2 = run_one(RunSpec("HIS", "cppe", 0.5))
+        assert s2.speedup_over(s1) >= 1.0
+
+    def test_schemes_similar_for_mvt(self):
+        s1 = run_one(RunSpec("MVT", "cppe-s1", 0.5))
+        s2 = run_one(RunSpec("MVT", "cppe", 0.5))
+        assert 0.8 < s2.speedup_over(s1) < 1.25
+
+
+class TestCoordinationAblation:
+    """Both halves of CPPE contribute (the paper's core thesis)."""
+
+    def test_mhpe_alone_wins_on_thrashing(self):
+        assert speedup("SRD", "mhpe-naive", 0.5) > 1.2
+
+    def test_pattern_prefetch_alone_wins_on_strided(self):
+        assert speedup("MVT", "lru-pattern", 0.5) > 1.5
+
+    def test_full_cppe_at_least_matches_either_half_on_its_home_turf(self):
+        # Full CPPE should not lose badly to either component alone.
+        assert speedup("SRD", "cppe", 0.5) >= 0.9 * speedup("SRD", "mhpe-naive", 0.5)
+        assert speedup("MVT", "cppe", 0.5) >= 0.9 * speedup("MVT", "lru-pattern", 0.5)

@@ -1,0 +1,151 @@
+"""Access-pattern generators (repro.workloads.patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import patterns
+
+
+def unique_count(arr):
+    return np.unique(arr).size
+
+
+class TestStreaming:
+    def test_single_pass_sequential(self):
+        acc, writes = patterns.streaming(100, sweeps=1, touches_per_page=1)
+        assert list(acc) == list(range(100))
+        assert writes.shape == acc.shape
+
+    def test_touches_per_page_repeats_consecutively(self):
+        acc, _ = patterns.streaming(10, sweeps=1, touches_per_page=3)
+        assert list(acc[:6]) == [0, 0, 0, 1, 1, 1]
+
+    def test_skip_fraction_leaves_pages_untouched(self):
+        acc, _ = patterns.streaming(1000, sweeps=1, skip_fraction=0.3, seed=1)
+        assert unique_count(acc) < 1000
+        assert unique_count(acc) > 500
+
+    def test_deterministic(self):
+        a1, w1 = patterns.streaming(100, skip_fraction=0.2, seed=5)
+        a2, w2 = patterns.streaming(100, skip_fraction=0.2, seed=5)
+        assert np.array_equal(a1, a2) and np.array_equal(w1, w2)
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            patterns.streaming(0)
+        with pytest.raises(WorkloadError):
+            patterns.streaming(10, sweeps=0)
+        with pytest.raises(WorkloadError):
+            patterns.streaming(10, skip_fraction=1.0)
+
+
+class TestPartlyRepetitive:
+    def test_contains_hot_region_repeats(self):
+        acc, _ = patterns.partly_repetitive(
+            100, hot_fraction=0.1, hot_repeats=5, sweeps=2
+        )
+        counts = np.bincount(acc, minlength=100)
+        # Hot pages (0-9) touched in both sweeps plus 5 hot repeats.
+        assert counts[0] == 2 + 5
+        assert counts[50] == 2
+
+    def test_invalid_hot_fraction(self):
+        with pytest.raises(WorkloadError):
+            patterns.partly_repetitive(10, hot_fraction=0.0)
+
+
+class TestMostlyRepetitive:
+    def test_stride_touches_only_multiples(self):
+        acc, _ = patterns.mostly_repetitive(100, stride=4, repeats=2, phases=1)
+        assert set(np.unique(acc)) == set(range(0, 100, 4))
+
+    def test_phases_shift_offset(self):
+        acc, _ = patterns.mostly_repetitive(100, stride=2, repeats=1, phases=2)
+        # Phase 1 = even pages, phase 2 = odd pages.
+        assert set(np.unique(acc)) == set(range(100))
+
+    def test_frontier_is_irregular(self):
+        acc, _ = patterns.mostly_repetitive(1000, frontier=True, seed=3)
+        # Random frontier: far from sequential.
+        diffs = np.abs(np.diff(acc.astype(np.int64)))
+        assert np.median(diffs) > 10
+
+    def test_frontier_deterministic(self):
+        a1, _ = patterns.mostly_repetitive(500, frontier=True, seed=3)
+        a2, _ = patterns.mostly_repetitive(500, frontier=True, seed=3)
+        assert np.array_equal(a1, a2)
+
+    def test_invalid_stride(self):
+        with pytest.raises(WorkloadError):
+            patterns.mostly_repetitive(100, stride=0)
+
+
+class TestThrashing:
+    def test_cyclic_sweeps(self):
+        acc, _ = patterns.thrashing(50, sweeps=3, touches_per_page=1)
+        assert len(acc) == 150
+        assert list(acc[:50]) == list(range(50))
+        assert list(acc[50:100]) == list(range(50))
+
+    def test_requires_two_sweeps(self):
+        with pytest.raises(WorkloadError):
+            patterns.thrashing(50, sweeps=1)
+
+
+class TestRepetitiveThrashing:
+    def test_fixed_stride_offset_across_sweeps(self):
+        acc, _ = patterns.repetitive_thrashing(
+            100, stride=2, sweeps=3, hot_fraction=0.01, hot_repeats=1
+        )
+        # The strided sweep always touches even pages (fixed offset), so odd
+        # pages beyond the hot region never appear.
+        assert 51 not in set(np.unique(acc))
+
+    def test_hot_region_interleaved(self):
+        acc, _ = patterns.repetitive_thrashing(
+            100, hot_fraction=0.1, hot_repeats=2, sweeps=2
+        )
+        counts = np.bincount(acc, minlength=100)
+        assert counts[0] > counts[50]
+
+
+class TestRegionMoving:
+    def test_window_slides_forward(self):
+        acc, _ = patterns.region_moving(
+            200, window_pages=50, step=50, rounds_per_window=1, seed=0
+        )
+        # First 50 accesses stay in [0, 50).
+        assert acc[:50].max() < 50
+        # Later windows reach the end of the footprint.
+        assert acc.max() >= 150
+
+    def test_touch_fraction_sparsifies(self):
+        acc, _ = patterns.region_moving(
+            200, window_pages=100, step=100, rounds_per_window=1,
+            touch_fraction=0.5, seed=0,
+        )
+        assert unique_count(acc) < 150
+
+    def test_rounds_revisit_window(self):
+        acc, _ = patterns.region_moving(
+            100, window_pages=100, step=100, rounds_per_window=3, seed=0
+        )
+        counts = np.bincount(acc, minlength=100)
+        assert (counts == 3).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            patterns.region_moving(100, window_pages=0)
+        with pytest.raises(WorkloadError):
+            patterns.region_moving(100, touch_fraction=0.0)
+
+
+class TestWriteFlags:
+    @pytest.mark.parametrize("fraction", [0.0, 0.3, 1.0])
+    def test_write_fraction_approximate(self, fraction):
+        acc, writes = patterns.thrashing(
+            500, sweeps=4, write_fraction=fraction, seed=1
+        )
+        observed = writes.mean()
+        assert abs(observed - fraction) < 0.05

@@ -1,0 +1,37 @@
+"""PCIe transfer model (repro.memsim.pcie)."""
+
+import pytest
+
+from repro.memsim.pcie import PCIeLink
+
+
+class TestTransfers:
+    def test_byte_accounting_both_directions(self):
+        link = PCIeLink()
+        link.transfer_to_device(16)
+        link.transfer_to_host(4)
+        assert link.bytes_to_device == 16 * 4096
+        assert link.bytes_to_host == 4 * 4096
+
+    def test_transfer_time_scales_with_pages(self):
+        link = PCIeLink()
+        assert link.transfer_to_device(10) == 10 * link.cycles_per_page
+
+    def test_zero_pages(self):
+        link = PCIeLink()
+        assert link.transfer_to_device(0) == 0
+        assert link.bytes_to_device == 0
+
+    def test_table1_bandwidth_cycle_cost(self):
+        # 4 KB at 16 GB/s and 1.4 GHz = 358 cycles.
+        assert PCIeLink(16.0, 1.4e9, 4096).cycles_per_page == 358
+
+    def test_doubling_bandwidth_halves_cycles(self):
+        slow = PCIeLink(16.0).cycles_per_page
+        fast = PCIeLink(32.0).cycles_per_page
+        assert fast == pytest.approx(slow / 2, abs=1)
+
+    def test_duplex_directions_independent(self):
+        link = PCIeLink()
+        link.transfer_to_device(5)
+        assert link.bytes_to_host == 0

@@ -1,0 +1,46 @@
+"""Random eviction policy (repro.policies.random_policy)."""
+
+from repro.config import SimConfig
+from repro.policies.random_policy import RandomPolicy
+
+from helpers import attach_policy, populate
+
+
+class TestRandomSelection:
+    def test_deterministic_given_seed(self):
+        picks = []
+        for _ in range(2):
+            policy = RandomPolicy()
+            attach_policy(policy, seed=7)
+            populate(policy, list(range(10)))
+            picks.append([v.chunk_id for v in policy.select_victims(16, 0)])
+        assert picks[0] == picks[1]
+
+    def test_different_seeds_vary(self):
+        outcomes = set()
+        for seed in range(8):
+            policy = RandomPolicy()
+            attach_policy(policy, seed=seed)
+            populate(policy, list(range(10)))
+            outcomes.add(policy.select_victims(16, 0)[0].chunk_id)
+        assert len(outcomes) > 1
+
+    def test_covers_request(self):
+        policy = RandomPolicy()
+        attach_policy(policy)
+        populate(policy, list(range(5)))
+        victims = policy.select_victims(40, 0)
+        assert sum(v.resident_pages for v in victims) >= 40
+        # No duplicates.
+        ids = [v.chunk_id for v in victims]
+        assert len(ids) == len(set(ids))
+
+    def test_uniformity_over_many_draws(self):
+        # Every chunk should be picked at least once over many seeds.
+        seen = set()
+        for seed in range(64):
+            policy = RandomPolicy()
+            attach_policy(policy, seed=seed)
+            populate(policy, list(range(4)))
+            seen.add(policy.select_victims(16, 0)[0].chunk_id)
+        assert seen == {0, 1, 2, 3}

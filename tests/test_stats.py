@@ -1,0 +1,65 @@
+"""Statistics container (repro.engine.stats)."""
+
+from repro.engine.stats import IntervalRecord, SimStats
+
+
+class TestDerivedMetrics:
+    def test_tlb_hit_rates(self):
+        s = SimStats()
+        s.l1_tlb_hits, s.l1_tlb_misses = 90, 10
+        s.l2_tlb_hits, s.l2_tlb_misses = 5, 5
+        assert s.l1_tlb_hit_rate == 0.9
+        assert s.l2_tlb_hit_rate == 0.5
+
+    def test_hit_rates_empty(self):
+        s = SimStats()
+        assert s.l1_tlb_hit_rate == 0.0
+        assert s.l2_tlb_hit_rate == 0.0
+
+    def test_prefetch_accuracy(self):
+        s = SimStats()
+        s.prefetched_pages = 100
+        s.prefetched_pages_touched = 60
+        assert s.prefetch_accuracy == 0.6
+
+    def test_prefetch_accuracy_no_prefetch(self):
+        assert SimStats().prefetch_accuracy == 0.0
+
+
+class TestIntervals:
+    def _stats_with_untouch(self, levels):
+        s = SimStats()
+        for i, u in enumerate(levels):
+            s.record_interval(IntervalRecord(index=i, untouch_total=u))
+        return s
+
+    def test_max_untouch_first_four(self):
+        s = self._stats_with_untouch([3, 50, 7, 2, 99])
+        # The fifth interval (99) is outside the Table III window.
+        assert s.max_untouch_first_n_intervals(4) == 50
+
+    def test_total_untouch_first_four(self):
+        s = self._stats_with_untouch([3, 50, 7, 2, 99])
+        assert s.total_untouch_first_n_intervals(4) == 62
+
+    def test_empty_intervals(self):
+        s = SimStats()
+        assert s.max_untouch_first_n_intervals() == 0
+        assert s.total_untouch_first_n_intervals() == 0
+        assert s.avg_untouch_per_interval == 0.0
+
+    def test_avg_untouch(self):
+        s = self._stats_with_untouch([10, 20, 30])
+        assert s.avg_untouch_per_interval == 20.0
+
+
+class TestSummary:
+    def test_summary_contains_headline_keys(self):
+        s = SimStats()
+        s.total_cycles = 123
+        s.far_faults = 7
+        summary = s.summary()
+        assert summary["total_cycles"] == 123
+        assert summary["far_faults"] == 7
+        for key in ("pages_migrated", "chunks_evicted", "final_strategy"):
+            assert key in summary

@@ -1,0 +1,72 @@
+"""Artifact persistence (repro.harness.store)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.figures import FigureResult
+from repro.harness.store import load_artifact, save_artifact
+from repro.harness.tables import TableResult
+
+
+class TestRoundTrip:
+    def test_figure_roundtrip(self, tmp_path):
+        fig = FigureResult(
+            name="figX",
+            description="demo",
+            series={"cppe": {"SRD": 2.0, "MVT": None}},
+            averages={"cppe (mean)": 2.0},
+            notes=["a note"],
+        )
+        path = save_artifact(fig, tmp_path / "figX.json")
+        loaded = load_artifact(path)
+        assert isinstance(loaded, FigureResult)
+        assert loaded.name == "figX"
+        assert loaded.series["cppe"]["SRD"] == 2.0
+        assert loaded.series["cppe"]["MVT"] is None
+        assert loaded.averages == fig.averages
+        assert loaded.notes == ["a note"]
+
+    def test_table_roundtrip(self, tmp_path):
+        tab = TableResult(
+            name="tabX",
+            description="demo",
+            headers=["a", "b"],
+            rows=[["x", 1], ["y", 2]],
+        )
+        path = save_artifact(tab, tmp_path / "sub" / "tabX.json")
+        loaded = load_artifact(path)
+        assert isinstance(loaded, TableResult)
+        assert loaded.rows == [["x", 1], ["y", 2]]
+        assert loaded.as_dict() == {("x",): 1, ("y",): 2}
+
+    def test_render_survives_roundtrip(self, tmp_path):
+        tab = TableResult("t", "d", ["h"], [[1]])
+        path = save_artifact(tab, tmp_path / "t.json")
+        assert load_artifact(path).render() == tab.render()
+
+    def test_rejects_non_artifact(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_artifact({"not": "an artifact"}, tmp_path / "x.json")
+
+    def test_rejects_unknown_kind(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"kind": "mystery"}')
+        with pytest.raises(ReproError):
+            load_artifact(p)
+
+
+class TestDocgen:
+    def test_generate_subset(self, tmp_path):
+        from repro.harness.docgen import generate
+
+        out = generate(
+            tmp_path / "EXP.md",
+            scale=0.5,
+            json_dir=tmp_path / "json",
+            names=["fig3"],
+            log=lambda s: None,
+        )
+        text = out.read_text()
+        assert "## fig3" in text
+        assert "**Paper:**" in text and "**Measured:**" in text
+        assert (tmp_path / "json" / "fig3.json").exists()

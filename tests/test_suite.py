@@ -1,0 +1,99 @@
+"""The 23-application benchmark suite (repro.workloads.suite)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.suite import (
+    BENCHMARKS,
+    CRASHING_APPS,
+    FIG3_APPS,
+    benchmarks_by_type,
+    get_benchmark,
+    make_workload,
+)
+
+
+class TestCatalogue:
+    def test_all_23_applications_present(self):
+        assert len(BENCHMARKS) == 23
+
+    def test_table2_type_counts(self):
+        counts = {}
+        for spec in BENCHMARKS.values():
+            counts[spec.pattern_type] = counts.get(spec.pattern_type, 0) + 1
+        assert counts == {"I": 4, "II": 4, "III": 5, "IV": 4, "V": 4, "VI": 2}
+
+    def test_footprint_ratios_match_table2(self):
+        # KMN (130 MB) is the largest; STN (4 MB) among the smallest.
+        assert BENCHMARKS["KMN"].footprint_pages == max(
+            s.footprint_pages for s in BENCHMARKS.values()
+        )
+        ratio = BENCHMARKS["KMN"].footprint_pages / BENCHMARKS["NW"].footprint_pages
+        assert ratio == pytest.approx(130 / 32, rel=0.05)
+
+    def test_fig3_apps_are_thrashing_or_region_moving(self):
+        for app in FIG3_APPS:
+            assert BENCHMARKS[app].pattern_type in ("IV", "VI")
+
+    def test_crashing_apps_are_strided_type3(self):
+        for app in CRASHING_APPS:
+            spec = BENCHMARKS[app]
+            assert spec.pattern_type == "III"
+            assert spec.params.get("stride") == 4
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("srd").abbr == "SRD"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("NOPE")
+
+    def test_benchmarks_by_type(self):
+        assert {s.abbr for s in benchmarks_by_type("VI")} == {"B+T", "HYB"}
+        with pytest.raises(WorkloadError):
+            benchmarks_by_type("VII")
+
+
+class TestMakeWorkload:
+    @pytest.mark.parametrize("abbr", sorted(BENCHMARKS))
+    def test_every_benchmark_generates(self, abbr):
+        wl = make_workload(abbr, scale=0.25)
+        assert wl.num_accesses > 0
+        assert wl.unique_pages_touched <= wl.footprint_pages
+        assert wl.pattern_type == BENCHMARKS[abbr].pattern_type
+
+    def test_deterministic_by_default(self):
+        a = make_workload("BFS", scale=0.25)
+        b = make_workload("BFS", scale=0.25)
+        assert np.array_equal(a.accesses, b.accesses)
+
+    def test_seed_override_changes_random_patterns(self):
+        a = make_workload("BFS", scale=0.25, seed=1)
+        b = make_workload("BFS", scale=0.25, seed=2)
+        assert not np.array_equal(a.accesses, b.accesses)
+
+    def test_scale_shrinks_footprint(self):
+        full = make_workload("SRD")
+        half = make_workload("SRD", scale=0.5)
+        assert half.footprint_pages == full.footprint_pages // 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            make_workload("SRD", scale=0)
+
+    def test_nw_stride2_intra_chunk(self):
+        wl = make_workload("NW", scale=0.5)
+        # First phase touches only even pages.
+        first = wl.accesses[: wl.footprint_pages // 4]
+        assert (first % 2 == 0).all()
+
+    def test_mvt_stride4_intra_chunk(self):
+        wl = make_workload("MVT", scale=0.5)
+        first = wl.accesses[: wl.footprint_pages // 8]
+        assert (first % 4 == 0).all()
+
+    def test_type_iv_tiled_distributions(self):
+        assert make_workload("SRD").distribution == "block"
+        assert make_workload("STN").distribution == "block"
+        assert make_workload("MRQ").distribution == "interleave"

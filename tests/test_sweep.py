@@ -1,0 +1,57 @@
+"""Capacity sweep analysis (repro.analysis.sweep)."""
+
+import pytest
+
+from repro.analysis.sweep import capacity_sweep, find_knee
+from repro.errors import ReproError
+
+
+class TestCapacitySweep:
+    def test_curve_is_anchored_at_one(self):
+        sweep = capacity_sweep("STN", "baseline", rates=(1.0, 0.5), scale=0.5)
+        assert sweep.slowdown_at(1.0) == 1.0
+        assert sweep.slowdown_at(0.5) > 1.0
+
+    def test_rate_one_added_if_missing(self):
+        sweep = capacity_sweep("STN", "baseline", rates=(0.5,), scale=0.5)
+        assert {p.rate for p in sweep.points} == {1.0, 0.5}
+
+    def test_slowdown_monotone_for_thrasher(self):
+        sweep = capacity_sweep(
+            "STN", "baseline", rates=(1.0, 0.75, 0.5), scale=0.5
+        )
+        slowdowns = [p.slowdown for p in sweep.points]  # descending rates
+        assert slowdowns == sorted(slowdowns)
+
+    def test_as_series(self):
+        sweep = capacity_sweep("STN", "baseline", rates=(1.0, 0.5), scale=0.5)
+        series = sweep.as_series()
+        assert series["100%"] == 1.0
+        assert "50%" in series
+
+    def test_unknown_rate_query(self):
+        sweep = capacity_sweep("STN", "baseline", rates=(1.0,), scale=0.5)
+        with pytest.raises(ReproError):
+            sweep.slowdown_at(0.33)
+
+
+class TestKnee:
+    def test_thrasher_has_knee(self):
+        sweep = capacity_sweep(
+            "STN", "baseline", rates=(1.0, 0.75, 0.5), scale=0.5
+        )
+        knee = find_knee(sweep, threshold=1.5)
+        assert knee is not None and knee < 1.0
+
+    def test_streaming_app_has_no_knee(self):
+        sweep = capacity_sweep(
+            "HOT", "baseline", rates=(1.0, 0.75, 0.5), scale=0.5
+        )
+        # Streaming with prefetch degrades gently; use a high threshold.
+        assert find_knee(sweep, threshold=10.0) is None
+
+    def test_cppe_knee_not_above_baseline(self):
+        base = capacity_sweep("STN", "baseline", rates=(1.0, 0.75, 0.5), scale=0.5)
+        cppe = capacity_sweep("STN", "cppe", rates=(1.0, 0.75, 0.5), scale=0.5)
+        for rate in (0.75, 0.5):
+            assert cppe.slowdown_at(rate) <= base.slowdown_at(rate) * 1.1

@@ -1,0 +1,89 @@
+"""Table/sensitivity regenerators on cheap subsets (repro.harness.tables)."""
+
+import pytest
+
+from repro.harness import tables
+from repro.harness.experiment import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestTable3:
+    # Full scale: the untouch statistics depend on the footprint being large
+    # relative to the fixed 64-page interval geometry (see DESIGN.md).
+    def test_rows_cover_apps_and_rates(self):
+        t = tables.table3(apps=["STN", "NW"], rates=(0.5,), scale=1.0)
+        assert t.name == "table3"
+        apps = {row[1] for row in t.rows}
+        assert apps == {"STN", "NW"}
+
+    def test_strided_app_has_higher_untouch_than_thrasher(self):
+        t = tables.table3(apps=["STN", "NW"], rates=(0.5,), scale=1.0)
+        d = t.as_dict()
+        assert d[("50%", "NW")] > d[("50%", "STN")]
+
+    def test_render(self):
+        t = tables.table3(apps=["STN"], rates=(0.5,), scale=1.0)
+        assert "max untouch" in t.render()
+
+
+class TestTable4:
+    def test_filters_high_untouch_apps(self):
+        t = tables.table4(apps=["STN", "MVT"], rates=(0.5,), scale=1.0)
+        apps = {row[1] for row in t.rows}
+        # MVT's stride-4 untouch exceeds T1, so the paper's filter drops it.
+        assert "MVT" not in apps
+        assert "STN" in apps
+
+
+class TestSensitivityFd:
+    def test_regular_untouch_drops_with_distance(self):
+        t = tables.sensitivity_fd(
+            regular_apps=("STN",),
+            irregular_apps=("B+T",),
+            distances=(1, 4),
+            scale=0.25,
+        )
+        d = t.as_dict()
+        assert d[(4, "regular")] <= d[(1, "regular")]
+
+    def test_irregular_untouch_stays_high(self):
+        t = tables.sensitivity_fd(
+            regular_apps=("STN",),
+            irregular_apps=("B+T",),
+            distances=(4,),
+            scale=0.25,
+        )
+        d = t.as_dict()
+        assert d[(4, "irregular")] > d[(4, "regular")]
+
+
+class TestSensitivityT3:
+    def test_sweep_produces_row_per_candidate(self):
+        t = tables.sensitivity_t3(
+            apps=("STN",), candidates=(16, 32), rates=(0.5,), scale=0.25
+        )
+        assert [row[0] for row in t.rows] == [16, 32]
+        assert all(row[1] > 0 for row in t.rows)
+
+
+class TestOverhead:
+    def test_row_per_rate(self):
+        t = tables.overhead(apps=["STN", "NW"], rates=(0.75, 0.5), scale=0.25)
+        assert [row[0] for row in t.rows] == ["75%", "50%"]
+
+    def test_entries_scale_with_capacity(self):
+        t = tables.overhead(apps=["STN"], rates=(0.75, 0.5), scale=0.25)
+        entries_75 = t.rows[0][1]
+        entries_50 = t.rows[1][1]
+        # More resident chunks at 75% than at 50%.
+        assert entries_75 > entries_50
+
+    def test_kb_follows_entry_bytes(self):
+        t = tables.overhead(apps=["STN"], rates=(0.5,), scale=0.25)
+        entries, kb = t.rows[0][1], t.rows[0][2]
+        assert kb == pytest.approx(entries * 12 / 1024, rel=0.05)

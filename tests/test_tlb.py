@@ -1,0 +1,91 @@
+"""TLB behaviour (repro.translation.tlb)."""
+
+from repro.config import TLBConfig
+from repro.translation.tlb import TLB
+
+
+def small_tlb(entries=4, assoc=4):
+    return TLB(TLBConfig(entries=entries, associativity=assoc, hit_latency=1))
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        tlb = small_tlb()
+        assert not tlb.lookup(1)
+        tlb.insert(1)
+        assert tlb.lookup(1)
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_contains_does_not_count(self):
+        tlb = small_tlb()
+        tlb.insert(1)
+        assert 1 in tlb
+        assert tlb.hits == 0 and tlb.misses == 0
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        tlb = small_tlb(entries=2, assoc=2)
+        tlb.insert(0)
+        tlb.insert(2)  # same set (1 set when fully assoc of 2)... fill
+        tlb.insert(4)  # evicts 0 (LRU)
+        assert not tlb.lookup(0)
+        assert tlb.lookup(2)
+        assert tlb.lookup(4)
+
+    def test_hit_refreshes_lru(self):
+        tlb = small_tlb(entries=2, assoc=2)
+        tlb.insert(0)
+        tlb.insert(2)
+        tlb.lookup(0)  # 0 becomes MRU
+        tlb.insert(4)  # evicts 2
+        assert tlb.lookup(0)
+        assert not tlb.lookup(2)
+
+    def test_set_indexing_isolates_sets(self):
+        tlb = small_tlb(entries=4, assoc=1)  # 4 direct-mapped sets
+        tlb.insert(0)
+        tlb.insert(1)
+        tlb.insert(2)
+        tlb.insert(3)
+        # All land in distinct sets; nothing evicted.
+        assert all(tlb.lookup(v) for v in range(4))
+
+    def test_conflict_in_direct_mapped_set(self):
+        tlb = small_tlb(entries=4, assoc=1)
+        tlb.insert(0)
+        tlb.insert(4)  # same set as 0
+        assert not tlb.lookup(0)
+        assert tlb.lookup(4)
+
+    def test_reinsert_same_vpn_no_eviction(self):
+        tlb = small_tlb(entries=2, assoc=2)
+        tlb.insert(0)
+        tlb.insert(2)
+        tlb.insert(0)  # refresh, not new entry
+        assert tlb.lookup(2)
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        tlb = small_tlb()
+        tlb.insert(7)
+        assert tlb.invalidate(7)
+        assert not tlb.lookup(7)
+
+    def test_invalidate_absent(self):
+        assert not small_tlb().invalidate(7)
+
+    def test_flush(self):
+        tlb = small_tlb()
+        for v in range(4):
+            tlb.insert(v)
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+    def test_occupancy(self):
+        tlb = small_tlb()
+        tlb.insert(1)
+        tlb.insert(2)
+        assert tlb.occupancy() == 2

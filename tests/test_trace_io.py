@@ -1,0 +1,100 @@
+"""Trace persistence and characterisation (repro.workloads.trace_io)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.suite import make_workload
+from repro.workloads.trace_io import (
+    downsample,
+    load_trace,
+    profile_trace,
+    save_trace,
+)
+
+from conftest import make_simple_workload
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        wl = make_workload("NW", scale=0.25)
+        path = tmp_path / "nw.npz"
+        save_trace(wl, path)
+        loaded = load_trace(path)
+        assert loaded.name == wl.name
+        assert loaded.pattern_type == wl.pattern_type
+        assert loaded.footprint_pages == wl.footprint_pages
+        assert np.array_equal(loaded.accesses, wl.accesses)
+        assert np.array_equal(loaded.writes, wl.writes)
+
+    def test_roundtrip_without_writes(self, tmp_path):
+        wl = make_simple_workload()
+        path = save_trace(wl, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.writes is None
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.config import SimConfig, SMConfig
+        from repro.engine.simulator import Simulator
+
+        cfg = SimConfig(sm=SMConfig(num_sms=4))
+        wl = make_workload("STN", scale=0.5)
+        save_trace(wl, tmp_path / "stn.npz")
+        a = Simulator(make_workload("STN", scale=0.5),
+                      oversubscription=0.5, config=cfg).run()
+        b = Simulator(load_trace(tmp_path / "stn.npz"),
+                      oversubscription=0.5, config=cfg).run()
+        assert a.total_cycles == b.total_cycles
+
+
+class TestDownsample:
+    def test_keeps_every_nth(self):
+        wl = make_simple_workload()
+        ds = downsample(wl, 4)
+        assert ds.num_accesses == -(-wl.num_accesses // 4)
+        assert np.array_equal(ds.accesses, wl.accesses[::4])
+        assert ds.name.endswith("/ds4")
+
+    def test_factor_one_is_identity(self):
+        wl = make_simple_workload()
+        assert downsample(wl, 1) is wl
+
+    def test_invalid_factor(self):
+        with pytest.raises(WorkloadError):
+            downsample(make_simple_workload(), 0)
+
+
+class TestProfile:
+    def test_streaming_profile(self):
+        wl = make_workload("2DC", scale=0.25)  # sequential, 2 touches/page
+        p = profile_trace(wl)
+        assert p.dominant_stride in (0, 1)
+        assert p.touches_per_page_mean == pytest.approx(2.0)
+        assert p.chunk_coverage_mean == pytest.approx(1.0)
+        assert p.reuse_fraction == pytest.approx(0.5)
+
+    def test_strided_profile_shows_low_chunk_coverage(self):
+        wl = make_workload("MVT", scale=0.25)  # stride 4 per phase
+        p = profile_trace(wl)
+        # First phase touches every 4th page: unique/footprint ~ 1/2 over
+        # two phases, and per-phase chunk coverage is low.
+        assert p.dominant_stride == 4
+        assert p.dominant_stride_fraction > 0.5
+
+    def test_thrashing_profile_high_reuse(self):
+        wl = make_workload("STN", scale=0.5)  # 16 sweeps
+        p = profile_trace(wl)
+        assert p.reuse_fraction > 0.9
+        assert p.unique_pages == wl.footprint_pages
+
+    def test_region_moving_working_set_drift(self):
+        wl = make_workload("HYB", scale=0.25)
+        p = profile_trace(wl)
+        # Each quarter sees only part of the footprint.
+        assert max(p.quarter_working_sets) < p.unique_pages
+
+    def test_summary_keys(self):
+        p = profile_trace(make_simple_workload())
+        s = p.summary()
+        for key in ("accesses", "footprint", "reuse", "stride", "chunk_coverage"):
+            assert key in s

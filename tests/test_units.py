@@ -1,0 +1,83 @@
+"""Unit conversions (repro.units)."""
+
+import pytest
+
+from repro.units import (
+    CHUNK_SIZE_BYTES,
+    DEFAULT_CLOCK_HZ,
+    PAGES_PER_CHUNK,
+    PAGE_SIZE_BYTES,
+    cycles_to_ms,
+    cycles_to_us,
+    mb_to_pages,
+    page_transfer_cycles,
+    transfer_cycles,
+    us_to_cycles,
+)
+
+
+class TestConstants:
+    def test_page_size_is_4kb(self):
+        assert PAGE_SIZE_BYTES == 4096
+
+    def test_chunk_is_16_pages(self):
+        assert PAGES_PER_CHUNK == 16
+        assert CHUNK_SIZE_BYTES == 64 * 1024
+
+    def test_clock_matches_table1(self):
+        assert DEFAULT_CLOCK_HZ == pytest.approx(1.4e9)
+
+
+class TestTimeConversions:
+    def test_paper_fault_latency_is_28000_cycles(self):
+        # 20 us at 1.4 GHz — the Table I fault service time.
+        assert us_to_cycles(20.0) == 28000
+
+    def test_us_roundtrip(self):
+        assert cycles_to_us(us_to_cycles(13.5)) == pytest.approx(13.5, rel=1e-6)
+
+    def test_ms_conversion(self):
+        assert cycles_to_ms(1.4e9) == pytest.approx(1000.0)
+
+    def test_zero(self):
+        assert us_to_cycles(0) == 0
+        assert cycles_to_us(0) == 0.0
+
+
+class TestTransferCycles:
+    def test_page_transfer_at_16gbps_is_350_cycles(self):
+        # 4 KB / 16 GB/s = 0.25 us = 350 cycles at 1.4 GHz (DESIGN.md).
+        assert page_transfer_cycles(16.0) == 358  # 4096/16e9*1.4e9 = 358.4
+
+    def test_transfer_scales_linearly(self):
+        one = transfer_cycles(4096, 16.0)
+        ten = transfer_cycles(40960, 16.0)
+        assert ten == pytest.approx(10 * one, abs=5)
+
+    def test_zero_bytes(self):
+        assert transfer_cycles(0, 16.0) == 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_cycles(-1, 16.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_cycles(4096, 0.0)
+        with pytest.raises(ValueError):
+            transfer_cycles(4096, -2.0)
+
+    def test_higher_bandwidth_is_faster(self):
+        assert transfer_cycles(1 << 20, 32.0) < transfer_cycles(1 << 20, 16.0)
+
+
+class TestMbToPages:
+    def test_one_mb(self):
+        assert mb_to_pages(1) == 256
+
+    def test_fractional(self):
+        assert mb_to_pages(5.6) == round(5.6 * 256)
+
+    def test_paper_average_footprint(self):
+        # The suite's average footprint is 45 MB -> 11520 native pages.
+        assert mb_to_pages(45) == 11520

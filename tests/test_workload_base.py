@@ -1,0 +1,115 @@
+"""Workload container and SM distribution (repro.workloads.base)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload, block_split, interleave_split
+
+from conftest import make_simple_workload
+
+
+class TestSplits:
+    def test_interleave_round_robin(self):
+        arr = np.arange(10)
+        parts = interleave_split(arr, 3)
+        assert list(parts[0]) == [0, 3, 6, 9]
+        assert list(parts[1]) == [1, 4, 7]
+        assert list(parts[2]) == [2, 5, 8]
+
+    def test_block_contiguous(self):
+        arr = np.arange(10)
+        parts = block_split(arr, 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert list(np.concatenate(parts)) == list(range(10))
+
+    def test_splits_preserve_all_elements(self):
+        arr = np.arange(101)
+        for split in (interleave_split, block_split):
+            parts = split(arr, 7)
+            assert sorted(np.concatenate(parts)) == list(range(101))
+
+    def test_invalid_sm_count(self):
+        with pytest.raises(WorkloadError):
+            interleave_split(np.arange(3), 0)
+        with pytest.raises(WorkloadError):
+            block_split(np.arange(3), -1)
+
+
+class TestWorkloadValidation:
+    def test_valid_workload(self):
+        wl = make_simple_workload()
+        assert wl.num_accesses == 768
+        assert wl.footprint_chunks == 16
+        assert wl.unique_pages_touched == 256
+
+    def test_rejects_out_of_range_access(self):
+        with pytest.raises(WorkloadError):
+            make_simple_workload(footprint=10, accesses=[0, 10])
+
+    def test_rejects_negative_access(self):
+        with pytest.raises(WorkloadError):
+            make_simple_workload(footprint=10, accesses=[-1])
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(WorkloadError):
+            make_simple_workload(footprint=10, accesses=[])
+
+    def test_rejects_bad_distribution(self):
+        with pytest.raises(WorkloadError):
+            make_simple_workload(distribution="zigzag")
+
+    def test_rejects_writes_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="w",
+                pattern_type="I",
+                footprint_pages=10,
+                accesses=np.array([1, 2]),
+                writes=np.array([True]),
+            )
+
+
+class TestPerSMTraces:
+    def test_traces_rebased_to_base_vpn(self):
+        wl = make_simple_workload()
+        traces = wl.per_sm_traces(4)
+        assert len(traces) == 4
+        assert min(t.min() for t, _ in traces) >= wl.base_vpn
+
+    def test_block_distribution(self):
+        wl = make_simple_workload(distribution="block")
+        traces = wl.per_sm_traces(4)
+        # Block split keeps each SM's trace contiguous in time.
+        first = traces[0][0] - wl.base_vpn
+        assert list(first) == list(wl.accesses[: len(first)])
+
+    def test_writes_split_alongside(self):
+        wl = make_simple_workload()
+        wl.writes = np.zeros(wl.num_accesses, dtype=bool)
+        wl.writes[0] = True
+        traces = wl.per_sm_traces(4)
+        assert traces[0][1][0]  # first element went to SM0
+        assert sum(w.sum() for _, w in traces) == 1
+
+
+class TestCapacity:
+    def test_unlimited_capacity_exceeds_footprint(self):
+        wl = make_simple_workload()
+        assert wl.capacity_for(None) > wl.footprint_pages
+
+    def test_oversubscription_rates(self):
+        wl = make_simple_workload(footprint=1000)
+        assert wl.capacity_for(0.75) == 750
+        assert wl.capacity_for(0.5) == 500
+
+    def test_minimum_four_chunks(self):
+        wl = make_simple_workload(footprint=80)
+        assert wl.capacity_for(0.5) == 64
+
+    def test_invalid_rate_rejected(self):
+        wl = make_simple_workload()
+        with pytest.raises(WorkloadError):
+            wl.capacity_for(0.0)
+        with pytest.raises(WorkloadError):
+            wl.capacity_for(1.5)
