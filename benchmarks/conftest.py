@@ -15,6 +15,17 @@ from __future__ import annotations
 import pytest
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _no_disk_cache():
+    """Benchmarks time real simulations; a warm persistent result cache
+    would silently turn them into disk-read benchmarks."""
+    from repro.harness import cache as cache_mod
+
+    previous = cache_mod.set_active_cache(None)
+    yield
+    cache_mod.set_active_cache(previous)
+
+
 def run_artifact(benchmark, capsys, fn, **extra_info):
     """Benchmark ``fn`` once, print its rendered artifact, record extras."""
     result = benchmark.pedantic(fn, rounds=1, iterations=1)

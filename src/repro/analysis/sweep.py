@@ -9,12 +9,10 @@ different setups degrade (see ``examples/oversubscription_sweep.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..engine.simulator import Simulator
 from ..errors import ReproError
-from ..harness.baselines import build_setup
-from ..workloads.suite import make_workload
+from ..harness.experiment import RunSpec, run_matrix
 
 __all__ = ["SweepPoint", "SweepResult", "capacity_sweep", "find_knee"]
 
@@ -57,23 +55,26 @@ def capacity_sweep(
     rates: Sequence[float] = DEFAULT_RATES,
     scale: float = 1.0,
     seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> SweepResult:
     """Run ``app`` under ``setup`` across capacity rates.
 
     Rates must include 1.0 (or it is added) — the unconstrained run anchors
-    the slowdown normalisation.
+    the slowdown normalisation.  The points are independent simulations, so
+    ``jobs > 1`` fans them out over the parallel experiment engine (and all
+    points go through the persistent result cache either way).
     """
     rates = sorted(set(rates) | {1.0}, reverse=True)
+    specs = [
+        RunSpec(app, setup, None if rate >= 1.0 else rate, scale=scale, seed=seed)
+        for rate in rates
+    ]
+    results = run_matrix(specs, jobs=jobs, progress=progress)
     result = SweepResult(app=app, setup=setup)
     reference_cycles: Optional[int] = None
-    for rate in rates:
-        policy, prefetcher = build_setup(setup)
-        sim_result = Simulator(
-            make_workload(app, scale=scale, seed=seed),
-            policy=policy,
-            prefetcher=prefetcher,
-            oversubscription=None if rate >= 1.0 else rate,
-        ).run()
+    for rate, spec in zip(rates, specs):
+        sim_result = results[spec.key()]
         if rate >= 1.0:
             reference_cycles = sim_result.total_cycles
         assert reference_cycles is not None

@@ -19,6 +19,13 @@ Commands
 ``sweep``
     Capacity sweep for one application: slowdown vs oversubscription rate,
     with working-set knee detection.
+``regen``
+    Regenerate any set of figures/tables (or ``all``) through the parallel
+    experiment engine: ``--jobs N`` workers, persistent result cache
+    (``--cache-dir PATH``), per-batch progress on stderr.
+``cache``
+    Inspect (``cache stats``) or clear (``cache clear``) the persistent
+    result cache.
 """
 
 from __future__ import annotations
@@ -26,8 +33,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
+from .harness import cache as cache_mod
 from .harness import figures as figures_mod
 from .harness import tables as tables_mod
 from .harness.baselines import SETUPS
@@ -111,6 +120,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--rates", nargs="*", type=float, default=None)
     sweep_p.add_argument("--scale", type=float, default=1.0)
     sweep_p.add_argument("--knee-threshold", type=float, default=1.5)
+    sweep_p.add_argument("--jobs", "-j", type=int, default=None,
+                         help="parallel workers (default: serial)")
+
+    regen_p = sub.add_parser(
+        "regen",
+        help="regenerate figures/tables in parallel with a persistent cache",
+    )
+    regen_p.add_argument(
+        "artifacts", nargs="+",
+        choices=sorted(_FIGURES) + sorted(_TABLES) + ["all"],
+        help="figure/table names, or 'all' for the full evaluation",
+    )
+    regen_p.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (default: os.cpu_count())",
+    )
+    regen_p.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-cppe)",
+    )
+    regen_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent result cache")
+    regen_p.add_argument("--apps", nargs="*", default=None)
+    regen_p.add_argument("--scale", type=float, default=1.0)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for cmd, help_text in (
+        ("stats", "entry count, size on disk, hit/miss counters"),
+        ("clear", "delete every cached result"),
+    ):
+        p = cache_sub.add_parser(cmd, help=help_text)
+        p.add_argument("--cache-dir", default=None)
+        if cmd == "stats":
+            p.add_argument("--json", action="store_true")
 
     return parser
 
@@ -225,7 +270,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweep import DEFAULT_RATES, capacity_sweep, find_knee
 
     rates = tuple(args.rates) if args.rates else DEFAULT_RATES
-    sweep = capacity_sweep(args.app, args.setup, rates=rates, scale=args.scale)
+    sweep = capacity_sweep(args.app, args.setup, rates=rates, scale=args.scale,
+                           jobs=args.jobs)
     rows = [
         [f"{p.rate:.0%}", p.slowdown, p.far_faults, p.chunks_evicted,
          "crashed" if p.crashed else ""]
@@ -245,6 +291,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _select_cache(cache_dir: Optional[str], no_cache: bool = False) -> None:
+    """Install the cache the command line asked for as the active one."""
+    if no_cache:
+        cache_mod.set_active_cache(None)
+    elif cache_dir:
+        cache_mod.set_active_cache(cache_mod.ResultCache(cache_dir))
+
+
+def _cmd_regen(args: argparse.Namespace) -> int:
+    from .harness.parallel import stderr_progress
+
+    _select_cache(args.cache_dir, args.no_cache)
+    regenerators = {**_FIGURES, **_TABLES}
+    names = sorted(regenerators) if "all" in args.artifacts else args.artifacts
+    active = cache_mod.get_active_cache()
+    for name in names:
+        before_hits, before_stores = (
+            (active.hits, active.stores) if active else (0, 0)
+        )
+        started = time.time()
+        kwargs = dict(scale=args.scale, jobs=args.jobs,
+                      progress=stderr_progress(name))
+        if args.apps:
+            if name.startswith("sensitivity"):
+                print(f"note: --apps is ignored for {name}", file=sys.stderr)
+            else:
+                kwargs["apps"] = args.apps
+        print(regenerators[name](**kwargs).render())
+        batch = f"[{name}] {time.time() - started:.1f}s"
+        if active:
+            batch += (
+                f", {active.stores - before_stores} new simulations, "
+                f"{active.hits - before_hits} disk-cache hits"
+            )
+        print(batch, file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    _select_cache(args.cache_dir)
+    active = cache_mod.get_active_cache()
+    if active is None:
+        print("result cache is disabled (REPRO_CACHE=0)", file=sys.stderr)
+        return 1
+    if args.cache_command == "stats":
+        stats = active.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(render_table(
+                ["property", "value"], sorted(stats.items()),
+                title=f"result cache at {active.root}",
+            ))
+        return 0
+    removed = active.clear()
+    print(f"removed {removed} cached results from {active.root}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -261,6 +366,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "regen":
+        return _cmd_regen(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

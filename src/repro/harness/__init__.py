@@ -9,11 +9,25 @@ from .baselines import (
     build_prefetcher,
     build_setup,
 )
-from .experiment import RunSpec, run_one, run_matrix
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    get_active_cache,
+    set_active_cache,
+)
+from .experiment import RunSpec, clear_cache, run_one, run_matrix
+from .parallel import ParallelRunner, default_jobs
 from .report import render_table, render_series
 from . import figures, tables
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "get_active_cache",
+    "set_active_cache",
+    "ParallelRunner",
+    "default_jobs",
+    "clear_cache",
     "POLICY_NAMES",
     "PREFETCHER_NAMES",
     "SETUPS",

@@ -82,17 +82,19 @@ PAPER_CLAIMS = {
 }
 
 _GENERATORS: List = [
-    ("fig3", lambda scale: figures.fig3(scale=scale)),
-    ("fig4", lambda scale: figures.fig4(scale=scale)),
-    ("fig7", lambda scale: figures.fig7(scale=scale)),
-    ("fig8", lambda scale: figures.fig8(scale=scale)),
-    ("fig9", lambda scale: figures.fig9(scale=scale)),
-    ("fig10", lambda scale: figures.fig10(scale=scale)),
-    ("table3", lambda scale: tables.table3(scale=scale)),
-    ("table4", lambda scale: tables.table4(scale=scale)),
-    ("sensitivity-fd", lambda scale: tables.sensitivity_fd(scale=scale)),
-    ("sensitivity-t3", lambda scale: tables.sensitivity_t3(scale=scale)),
-    ("overhead", lambda scale: tables.overhead(scale=scale)),
+    ("fig3", lambda scale, jobs: figures.fig3(scale=scale, jobs=jobs)),
+    ("fig4", lambda scale, jobs: figures.fig4(scale=scale, jobs=jobs)),
+    ("fig7", lambda scale, jobs: figures.fig7(scale=scale, jobs=jobs)),
+    ("fig8", lambda scale, jobs: figures.fig8(scale=scale, jobs=jobs)),
+    ("fig9", lambda scale, jobs: figures.fig9(scale=scale, jobs=jobs)),
+    ("fig10", lambda scale, jobs: figures.fig10(scale=scale, jobs=jobs)),
+    ("table3", lambda scale, jobs: tables.table3(scale=scale, jobs=jobs)),
+    ("table4", lambda scale, jobs: tables.table4(scale=scale, jobs=jobs)),
+    ("sensitivity-fd",
+     lambda scale, jobs: tables.sensitivity_fd(scale=scale, jobs=jobs)),
+    ("sensitivity-t3",
+     lambda scale, jobs: tables.sensitivity_t3(scale=scale, jobs=jobs)),
+    ("overhead", lambda scale, jobs: tables.overhead(scale=scale, jobs=jobs)),
 ]
 
 
@@ -123,9 +125,15 @@ def generate(
     scale: float = 1.0,
     json_dir: Optional[Path] = None,
     names: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
     log: Callable[[str], None] = lambda s: print(s, file=sys.stderr),
 ) -> Path:
-    """Run every artifact and write the EXPERIMENTS.md comparison."""
+    """Run every artifact and write the EXPERIMENTS.md comparison.
+
+    ``jobs > 1`` routes every run matrix through the parallel experiment
+    engine; either way all simulations go through the persistent result
+    cache, so re-generating this document from cached results is cheap.
+    """
     sections = []
     summary_rows = []
     for name, gen in _GENERATORS:
@@ -133,7 +141,7 @@ def generate(
             continue
         start = time.time()
         log(f"running {name} ...")
-        artifact = gen(scale)
+        artifact = gen(scale, jobs)
         elapsed = time.time() - start
         log(f"  done in {elapsed:.0f}s")
         if json_dir is not None:
@@ -156,6 +164,12 @@ def generate(
         "who wins, by roughly what factor, and where the crossovers fall —\n"
         "is the reproduction target.\n\n"
         f"Workload scale: {scale}.\n\n"
+        "Regeneration: `python -m repro regen all --jobs N` runs the same\n"
+        "artifacts through the parallel experiment engine with a persistent\n"
+        "result cache (`--cache-dir`, default `~/.cache/repro-cppe`); see\n"
+        "the README's *Parallel regeneration* section.  A warm cache\n"
+        "regenerates everything with zero new simulations; clear it with\n"
+        "`python -m repro cache clear` whenever simulator semantics change.\n\n"
         "## Summary\n\n"
         "| artifact | measured headline |\n|---|---|\n"
         + "\n".join(f"| {n} | {h} |" for n, h in summary_rows)
@@ -174,9 +188,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json-dir", type=Path, default=None)
     parser.add_argument("--only", nargs="*", default=None,
                         help="generate only these artifacts")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="parallel workers for each run matrix")
     args = parser.parse_args(argv)
     generate(Path(args.output), scale=args.scale, json_dir=args.json_dir,
-             names=args.only)
+             names=args.only, jobs=args.jobs)
     return 0
 
 

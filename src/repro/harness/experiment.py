@@ -1,21 +1,39 @@
-"""Experiment runner: declarative run specs + an in-process result cache.
+"""Experiment runner: declarative run specs + layered result caching.
 
 Figures share many runs (e.g. the baseline at 50% appears in Figs. 8, 9 and
-10); ``run_matrix`` memoises on the spec key so each configuration simulates
-once per process.
+10), and whole regenerations repeat across sessions, so results are cached
+at two layers:
+
+* an in-process memo (``_CACHE``) keyed by ``(spec.key(), config hash)`` —
+  each configuration simulates at most once per process;
+* the persistent disk cache of :mod:`repro.harness.cache` — repeated
+  regenerations in fresh processes read results from disk instead of
+  re-simulating.
+
+``run_matrix`` fans batches out over a process pool when ``jobs > 1``
+(see :mod:`repro.harness.parallel`); because simulations are seeded and
+deterministic, parallel and serial execution produce identical results
+(enforced by ``tests/test_parallel_runner.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..config import SimConfig
 from ..engine.simulator import SimulationResult, Simulator
 from ..workloads.suite import make_workload
 from .baselines import build_setup
+from .cache import ResultCache, config_fingerprint, get_active_cache
 
-__all__ = ["RunSpec", "run_one", "run_matrix", "clear_cache"]
+__all__ = [
+    "RunSpec",
+    "run_one",
+    "run_matrix",
+    "clear_cache",
+    "execution_count",
+]
 
 
 @dataclass(frozen=True)
@@ -44,20 +62,52 @@ class RunSpec:
 
 _CACHE: Dict[Tuple, SimulationResult] = {}
 
+#: Simulations actually executed by this process (not served from any cache).
+_EXECUTIONS = 0
 
-def clear_cache() -> None:
-    """Drop all memoised results (tests use this for isolation)."""
+#: Sentinel: "use the process-wide active disk cache".
+_ACTIVE = object()
+
+
+def execution_count() -> int:
+    """Number of simulations this process has actually executed."""
+    return _EXECUTIONS
+
+
+def clear_cache(disk: bool = True) -> None:
+    """Drop all memoised results (tests use this for isolation).
+
+    With ``disk=True`` (the default) the active on-disk cache is emptied as
+    well — required whenever simulator semantics change without a schema
+    bump, and what ``repro cache clear`` calls.  Pass ``disk=False`` to drop
+    only the in-process memo (e.g. to force disk-cache reads).
+    """
     _CACHE.clear()
+    if disk:
+        active = get_active_cache()
+        if active is not None:
+            active.clear()
 
 
-def run_one(
-    spec: RunSpec, config: Optional[SimConfig] = None, use_cache: bool = True
-) -> SimulationResult:
-    """Run (or fetch from cache) a single simulation."""
-    cache_key = (spec.key(), id(config) if config is not None else None)
-    if use_cache and cache_key in _CACHE:
-        return _CACHE[cache_key]
+def _resolve_cache(cache) -> Optional[ResultCache]:
+    if cache is _ACTIVE:
+        return get_active_cache()
+    return cache
 
+
+def _memo_key(spec: RunSpec, config: Optional[SimConfig]) -> Tuple:
+    return (spec.key(), config_fingerprint(config))
+
+
+def _execute(spec: RunSpec, config: Optional[SimConfig] = None) -> SimulationResult:
+    """Actually simulate ``spec`` (no caching).
+
+    This is the single execution path shared by the serial runner and the
+    process-pool workers, which is what makes serial-vs-parallel differential
+    testing meaningful.
+    """
+    global _EXECUTIONS
+    _EXECUTIONS += 1
     cfg = config or SimConfig()
     if spec.crash_budget_factor is not None:
         cfg = cfg.with_(
@@ -67,25 +117,80 @@ def run_one(
         )
     workload = make_workload(spec.app, scale=spec.scale, seed=spec.seed)
     policy, prefetcher = build_setup(spec.setup)
-    result = Simulator(
+    return Simulator(
         workload,
         policy=policy,
         prefetcher=prefetcher,
         oversubscription=spec.oversubscription,
         config=cfg,
     ).run()
-    if use_cache:
-        _CACHE[cache_key] = result
+
+
+def run_one(
+    spec: RunSpec,
+    config: Optional[SimConfig] = None,
+    use_cache: bool = True,
+    cache=_ACTIVE,
+) -> SimulationResult:
+    """Run (or fetch from a cache layer) a single simulation.
+
+    Lookup order: in-process memo, then the disk ``cache`` (the active one
+    by default; pass ``None`` to skip disk).  ``use_cache=False`` bypasses
+    and updates neither layer.
+    """
+    if not use_cache:
+        return _execute(spec, config)
+    memo_key = _memo_key(spec, config)
+    if memo_key in _CACHE:
+        return _CACHE[memo_key]
+    disk = _resolve_cache(cache)
+    if disk is not None:
+        result = disk.get(spec, config)
+        if result is not None:
+            _CACHE[memo_key] = result
+            return result
+    result = _execute(spec, config)
+    if disk is not None:
+        disk.put(spec, config, result)
+    _CACHE[memo_key] = result
     return result
+
+
+def _seed_memo(
+    spec: RunSpec, config: Optional[SimConfig], result: SimulationResult
+) -> None:
+    """Install a result produced elsewhere (worker process / disk) in the
+    in-process memo, so subsequent ``run_one`` calls hit it."""
+    _CACHE[_memo_key(spec, config)] = result
 
 
 def run_matrix(
     specs: Iterable[RunSpec],
     config: Optional[SimConfig] = None,
     use_cache: bool = True,
+    jobs: Optional[int] = None,
+    cache=_ACTIVE,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> Dict[Tuple, SimulationResult]:
-    """Run a batch of specs; returns {spec.key(): result}."""
-    results: Dict[Tuple, SimulationResult] = {}
-    for spec in specs:
-        results[spec.key()] = run_one(spec, config=config, use_cache=use_cache)
-    return results
+    """Run a batch of specs; returns ``{spec.key(): result}``.
+
+    ``jobs > 1`` fans the batch out over a process pool (falling back to
+    serial execution if no pool can be started); ``jobs`` of ``None``/``1``
+    runs serially in-process.  ``progress(done, total)`` is invoked after
+    each completed spec.
+    """
+    specs = list(specs)
+    if jobs is not None and jobs > 1:
+        from .parallel import ParallelRunner  # deferred: avoids import cycle
+
+        runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+        results = runner.run(specs, config=config, use_cache=use_cache)
+        return {spec.key(): r for spec, r in zip(specs, results)}
+    out: Dict[Tuple, SimulationResult] = {}
+    for i, spec in enumerate(specs):
+        out[spec.key()] = run_one(
+            spec, config=config, use_cache=use_cache, cache=cache
+        )
+        if progress is not None:
+            progress(i + 1, len(specs))
+    return out

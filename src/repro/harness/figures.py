@@ -12,10 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from typing import Callable
+
 from ..analysis.metrics import geomean, mean
 from ..workloads.suite import BENCHMARKS, FIG3_APPS
-from .experiment import RunSpec, run_one
+from .experiment import RunSpec, run_matrix, run_one
 from .report import render_series, render_table
+
+Progress = Optional[Callable[[int, int], None]]
 
 __all__ = [
     "FigureResult",
@@ -57,6 +61,31 @@ class FigureResult:
 
 def _all_apps() -> List[str]:
     return list(BENCHMARKS)
+
+
+def _prewarm(
+    specs: Sequence[RunSpec], jobs: Optional[int], progress: Progress = None
+) -> None:
+    """Resolve a figure's whole run matrix up front (parallel when
+    ``jobs > 1``), seeding the in-process memo so the per-app ``run_one``
+    calls below are pure lookups."""
+    if (jobs is not None and jobs > 1) or progress is not None:
+        run_matrix(list(specs), jobs=jobs, progress=progress)
+
+
+def _matrix_specs(
+    apps: Sequence[str],
+    setups: Sequence[str],
+    rates: Sequence[float],
+    scale: float,
+    crash_budget: Optional[float] = None,
+) -> List[RunSpec]:
+    return [
+        RunSpec(app, setup, rate, scale=scale, crash_budget_factor=crash_budget)
+        for rate in rates
+        for app in apps
+        for setup in setups
+    ]
 
 
 def _speedup_series(
@@ -107,10 +136,17 @@ def fig3(
     apps: Optional[Sequence[str]] = None,
     rate: float = 0.5,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> FigureResult:
     """LRU / Random / LRU-20% with the naive locality prefetcher at 50%
     oversubscription, normalised to LRU, for the thrashing + irregular apps."""
     apps = list(apps or FIG3_APPS)
+    _prewarm(
+        _matrix_specs(apps, ["baseline", "random", "lru-20"], [rate], scale),
+        jobs,
+        progress,
+    )
     series = _speedup_series(apps, ["random", "lru-20"], "baseline", rate, scale)
     return FigureResult(
         name="fig3",
@@ -137,10 +173,17 @@ def fig4(
     rate: float = 0.5,
     scale: float = 1.0,
     threshold: float = 1.2,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> FigureResult:
     """Chunk evictions with prefetch-always vs prefetch-off-when-full (both
     LRU), reported as a ratio; the paper shows apps with ratio > 1.2."""
     apps = list(apps or _all_apps())
+    _prewarm(
+        _matrix_specs(apps, ["baseline", "stop-on-full"], [rate], scale),
+        jobs,
+        progress,
+    )
     ratios: Dict[str, Optional[float]] = {}
     for app in apps:
         always = run_one(RunSpec(app, "baseline", rate, scale=scale))
@@ -181,10 +224,17 @@ def fig7(
     apps: Optional[Sequence[str]] = None,
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> FigureResult:
     """CPPE with Scheme-1 vs Scheme-2 pattern deletion, normalised to the
     baseline, for the applications whose chunks enter the pattern buffer."""
     apps = list(apps or FIG7_APPS)
+    _prewarm(
+        _matrix_specs(apps, ["baseline", "cppe-s1", "cppe"], rates, scale),
+        jobs,
+        progress,
+    )
     series: Series = {}
     for rate in rates:
         sub = _speedup_series(apps, ["cppe-s1", "cppe"], "baseline", rate, scale)
@@ -211,9 +261,12 @@ def fig8(
     apps: Optional[Sequence[str]] = None,
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> FigureResult:
     """CPPE speedup over the baseline for the full suite at 75% and 50%."""
     apps = list(apps or _all_apps())
+    _prewarm(_matrix_specs(apps, ["baseline", "cppe"], rates, scale), jobs, progress)
     series: Series = {}
     for rate in rates:
         sub = _speedup_series(apps, ["cppe"], "baseline", rate, scale)
@@ -240,9 +293,18 @@ def fig9(
     apps: Optional[Sequence[str]] = None,
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> FigureResult:
     """Random / LRU-10% / LRU-20% / CPPE normalised to the baseline."""
     apps = list(apps or _all_apps())
+    _prewarm(
+        _matrix_specs(
+            apps, ["baseline", "random", "lru-10", "lru-20", "cppe"], rates, scale
+        ),
+        jobs,
+        progress,
+    )
     series: Series = {}
     for rate in rates:
         sub = _speedup_series(
@@ -276,12 +338,20 @@ def fig10(
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
     crash_budget: Optional[float] = None,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> FigureResult:
     """Prefetch-off-when-full and CPPE, both normalised to the naive
     baseline.  With ``crash_budget`` set, baseline runs that blow past the
     eviction budget crash (the paper's MVT/BIC 'X' marks) and normalisation
     falls back to the prefetch-off run, as the paper does."""
     apps = list(apps or FIG10_APPS)
+    _prewarm(
+        _matrix_specs(apps, ["baseline"], rates, scale, crash_budget=crash_budget)
+        + _matrix_specs(apps, ["stop-on-full", "cppe"], rates, scale),
+        jobs,
+        progress,
+    )
     series: Series = {}
     notes = [
         "paper: disabling prefetch costs up to 85% on regular apps, wins "

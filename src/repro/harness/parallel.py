@@ -1,0 +1,224 @@
+"""Parallel experiment execution engine.
+
+:class:`ParallelRunner` fans a batch of :class:`~repro.harness.experiment.RunSpec`
+simulations out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(worker count configurable, default ``os.cpu_count()``), layered on the same
+two caches as the serial path:
+
+* specs already in the in-process memo or the persistent disk cache are
+  served without touching the pool (counted in ``memo_hits`` /
+  ``cache_hits``);
+* the remainder are simulated in worker processes via the *same*
+  ``experiment._execute`` code path the serial runner uses, then written to
+  the disk cache and seeded into the memo (counted in ``simulated``).
+
+Because simulations are seeded and deterministic, the runner's results are
+field-for-field identical to serial ``run_matrix`` output — enforced by the
+differential suite in ``tests/test_parallel_runner.py``.
+
+When the pool cannot be started (e.g. a platform without working process
+semaphores) or breaks mid-batch, the runner degrades gracefully to serial
+in-process execution; ``jobs=1`` requests serial execution outright.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SimConfig
+from ..engine.simulator import SimulationResult
+from . import experiment
+from .cache import ResultCache
+from .experiment import RunSpec, _execute, _memo_key, _resolve_cache
+
+__all__ = ["ParallelRunner", "default_jobs", "stderr_progress"]
+
+#: Errors that mean "no usable process pool here" -> serial fallback.
+_POOL_ERRORS = (
+    OSError,
+    NotImplementedError,
+    ImportError,
+    BrokenProcessPool,
+    RuntimeError,
+)
+
+
+def default_jobs() -> int:
+    """Default worker count: ``os.cpu_count()`` (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def stderr_progress(label: str = "runs") -> Callable[[int, int], None]:
+    """A progress callback that renders ``label: done/total`` on stderr."""
+
+    def report(done: int, total: int) -> None:
+        end = "\n" if done >= total else ""
+        print(f"\r{label}: {done}/{total}", end=end, file=sys.stderr, flush=True)
+
+    return report
+
+
+def _simulate_spec(
+    spec: RunSpec, config: Optional[SimConfig]
+) -> SimulationResult:
+    """Top-level worker entry point (must be picklable)."""
+    return _execute(spec, config)
+
+
+class ParallelRunner:
+    """Run batches of specs concurrently, with persistent caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means :func:`default_jobs`, ``1`` means
+        serial in-process execution (no pool).
+    cache:
+        A :class:`ResultCache`, ``None`` to disable the disk layer, or the
+        default (the process-wide active cache).
+    progress:
+        ``progress(done, total)`` called after every resolved spec
+        (including cache hits).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache=experiment._ACTIVE,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        self.jobs = jobs if jobs is not None and jobs > 0 else default_jobs()
+        self._cache_arg = cache
+        self.progress = progress
+        # Lifetime counters (across run() calls on this instance):
+        self.simulated = 0  # simulations actually executed
+        self.memo_hits = 0  # served from the in-process memo
+        self.cache_hits = 0  # served from the disk cache
+        self.fell_back_serial = False  # pool unavailable/broken at least once
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return _resolve_cache(self._cache_arg)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        config: Optional[SimConfig] = None,
+        use_cache: bool = True,
+    ) -> List[SimulationResult]:
+        """Resolve every spec; returns results aligned with ``specs``.
+
+        Duplicate specs are simulated once.  With ``use_cache=False`` both
+        cache layers are bypassed (every distinct spec simulates).
+        """
+        specs = list(specs)
+        total = len(specs)
+        done = 0
+        resolved: Dict[Tuple, SimulationResult] = {}
+        pending: List[Tuple] = []  # distinct memo keys needing simulation
+        pending_specs: Dict[Tuple, RunSpec] = {}
+        disk = self.cache if use_cache else None
+
+        for spec in specs:
+            key = _memo_key(spec, config)
+            if key in resolved or key in pending_specs:
+                continue
+            if use_cache and key in experiment._CACHE:
+                resolved[key] = experiment._CACHE[key]
+                self.memo_hits += 1
+                done += 1
+                self._report(done, total)
+                continue
+            if disk is not None:
+                hit = disk.get(spec, config)
+                if hit is not None:
+                    resolved[key] = hit
+                    experiment._CACHE[key] = hit
+                    self.cache_hits += 1
+                    done += 1
+                    self._report(done, total)
+                    continue
+            pending.append(key)
+            pending_specs[key] = spec
+
+        def finish(key: Tuple, result: SimulationResult) -> None:
+            nonlocal done
+            spec = pending_specs[key]
+            resolved[key] = result
+            self.simulated += 1
+            if disk is not None:
+                disk.put(spec, config, result)
+            if use_cache:
+                experiment._CACHE[key] = result
+            done += 1
+            self._report(done, total)
+
+        if pending:
+            remaining = list(pending)
+            if self.jobs > 1:
+                remaining = self._run_pool(remaining, pending_specs, config, finish)
+            for key in remaining:  # serial path / fallback
+                finish(key, _execute(pending_specs[key], config))
+
+        # Duplicates in the input count as resolved work too.
+        while done < total:
+            done += 1
+            self._report(done, total)
+        return [resolved[_memo_key(spec, config)] for spec in specs]
+
+    # ------------------------------------------------------------------
+
+    def _run_pool(
+        self,
+        keys: List[Tuple],
+        specs: Dict[Tuple, RunSpec],
+        config: Optional[SimConfig],
+        finish: Callable[[Tuple, SimulationResult], None],
+    ) -> List[Tuple]:
+        """Simulate ``keys`` on a process pool; returns keys still pending
+        (all of them when no pool is available, for the serial fallback)."""
+        completed: set = set()
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(keys))) as pool:
+                futures = {
+                    pool.submit(_simulate_spec, specs[key], config): key
+                    for key in keys
+                }
+                not_done = set(futures)
+                while not_done:
+                    just_done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in just_done:
+                        key = futures[future]
+                        exc = future.exception()
+                        if exc is not None:
+                            if isinstance(exc, _POOL_ERRORS):
+                                raise exc
+                            raise exc  # simulation-level error: propagate as-is
+                        finish(key, future.result())
+                        completed.add(key)
+        except _POOL_ERRORS:
+            self.fell_back_serial = True
+            return [k for k in keys if k not in completed]
+        return []
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Counters snapshot (what ``repro regen`` prints per batch)."""
+        return {
+            "jobs": self.jobs,
+            "simulated": self.simulated,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "fell_back_serial": self.fell_back_serial,
+        }

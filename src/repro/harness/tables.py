@@ -15,17 +15,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.classify import untouch_profile
 from ..analysis.metrics import mean, overhead_report
-from ..config import MHPEConfig
-from ..engine.simulator import Simulator
-from ..policies.mhpe import MHPEPolicy
-from ..prefetch.locality import LocalityPrefetcher
-from ..workloads.suite import BENCHMARKS, make_workload
-from .experiment import RunSpec, run_one
+from ..config import MHPEConfig, SimConfig
+from ..workloads.suite import BENCHMARKS
+from .experiment import RunSpec, run_matrix, run_one
 from .report import render_table
+
+Progress = Optional[Callable[[int, int], None]]
 
 __all__ = [
     "TableResult",
@@ -60,30 +59,54 @@ class TableResult:
         return {tuple(r[:-1]): r[-1] for r in self.rows}
 
 
-def _characterisation_run(app: str, rate: float, scale: float,
-                          forward_distance: Optional[int] = None):
-    """Run MHPE in observation mode: MRU throughout, no threshold switching,
-    locality prefetch (the Section VI-A methodology)."""
+def _characterisation_config(forward_distance: Optional[int] = None) -> SimConfig:
+    """MHPE observation mode: MRU throughout, no threshold switching,
+    locality prefetch (the Section VI-A methodology).  Expressed as a
+    ``SimConfig`` so characterisation runs flow through the experiment
+    engine (memo + disk cache + parallel batches) like every other run."""
     kwargs = dict(switch_enabled=False, adjust_enabled=forward_distance is None)
     if forward_distance is not None:
         kwargs.update(init_lo=forward_distance, init_hi=forward_distance)
-    policy = MHPEPolicy(MHPEConfig(**kwargs))
-    workload = make_workload(app, scale=scale)
-    return Simulator(
-        workload,
-        policy=policy,
-        prefetcher=LocalityPrefetcher("continue"),
-        oversubscription=rate,
-    ).run()
+    return SimConfig(mhpe=MHPEConfig(**kwargs))
+
+
+def _characterisation_run(app: str, rate: float, scale: float,
+                          forward_distance: Optional[int] = None):
+    return run_one(
+        RunSpec(app, "mhpe-naive", rate, scale=scale),
+        config=_characterisation_config(forward_distance),
+    )
+
+
+def _prewarm_characterisation(
+    apps: Sequence[str],
+    rates: Sequence[float],
+    scale: float,
+    jobs: Optional[int],
+    progress: Progress = None,
+    forward_distance: Optional[int] = None,
+) -> None:
+    if (jobs is None or jobs <= 1) and progress is None:
+        return
+    run_matrix(
+        [RunSpec(app, "mhpe-naive", rate, scale=scale)
+         for rate in rates for app in apps],
+        config=_characterisation_config(forward_distance),
+        jobs=jobs,
+        progress=progress,
+    )
 
 
 def table3(
     apps: Optional[Sequence[str]] = None,
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> TableResult:
     """Maximum per-interval untouch level in the first four active intervals."""
     apps = list(apps or BENCHMARKS)
+    _prewarm_characterisation(apps, rates, scale, jobs, progress)
     rows = []
     for rate in rates:
         for app in apps:
@@ -108,10 +131,13 @@ def table4(
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
     t1: int = 32,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> TableResult:
     """Total untouch level in the first four active intervals, for apps whose
     Table III maximum stays below ``t1`` (the paper's filtering rule)."""
     apps = list(apps or BENCHMARKS)
+    _prewarm_characterisation(apps, rates, scale, jobs, progress)
     rows = []
     for rate in rates:
         for app in apps:
@@ -136,6 +162,8 @@ def sensitivity_fd(
     distances: Sequence[int] = tuple(range(1, 11)),
     rate: float = 0.5,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> TableResult:
     """Untouch level of early intervals vs a fixed forward distance.
 
@@ -143,6 +171,11 @@ def sensitivity_fd(
     drops sharply once the distance reaches ~2, while irregular applications
     stay high until ~8 — hence the 2..8 operating range.
     """
+    all_apps = list(regular_apps) + list(irregular_apps)
+    for dist in distances:  # one batch per distance (distinct SimConfig)
+        _prewarm_characterisation(
+            all_apps, [rate], scale, jobs, progress, forward_distance=dist
+        )
     rows = []
     for dist in distances:
         for group, apps in (("regular", regular_apps), ("irregular", irregular_apps)):
@@ -166,24 +199,33 @@ def sensitivity_t3(
     candidates: Sequence[int] = (16, 20, 24, 28, 32, 36, 40),
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> TableResult:
     """Average CPPE speedup over the baseline vs the T3 limit (Section VI-A)."""
-    from ..core.cppe import CPPE  # local import avoids a cycle at module load
-
+    baseline_specs = [RunSpec(app, "baseline", rate, scale=scale)
+                      for rate in rates for app in apps]
+    cppe_specs = [RunSpec(app, "cppe", rate, scale=scale)
+                  for rate in rates for app in apps]
+    if (jobs is not None and jobs > 1) or progress is not None:
+        run_matrix(baseline_specs, jobs=jobs, progress=progress)
+        for t3 in candidates:  # one batch per candidate (distinct SimConfig)
+            run_matrix(
+                cppe_specs,
+                config=SimConfig(mhpe=MHPEConfig(t3=t3)),
+                jobs=jobs,
+                progress=progress,
+            )
     rows = []
     for t3 in candidates:
+        t3_config = SimConfig(mhpe=MHPEConfig(t3=t3))
         speedups = []
         for rate in rates:
             for app in apps:
                 base = run_one(RunSpec(app, "baseline", rate, scale=scale))
-                pair = CPPE.create(mhpe_config=MHPEConfig(t3=t3))
-                workload = make_workload(app, scale=scale)
-                cand = Simulator(
-                    workload,
-                    policy=pair.policy,
-                    prefetcher=pair.prefetcher,
-                    oversubscription=rate,
-                ).run()
+                cand = run_one(
+                    RunSpec(app, "cppe", rate, scale=scale), config=t3_config
+                )
                 speedups.append(cand.speedup_over(base))
         rows.append([t3, round(mean(speedups), 3)])
     best = max(rows, key=lambda r: r[1])[0]
@@ -200,9 +242,18 @@ def overhead(
     apps: Optional[Sequence[str]] = None,
     rates: Sequence[float] = (0.75, 0.5),
     scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
 ) -> TableResult:
     """Structure storage overhead of CPPE (Section VI-C)."""
     apps = list(apps or BENCHMARKS)
+    if (jobs is not None and jobs > 1) or progress is not None:
+        run_matrix(
+            [RunSpec(app, "cppe", rate, scale=scale)
+             for rate in rates for app in apps],
+            jobs=jobs,
+            progress=progress,
+        )
     rows = []
     for rate in rates:
         reports = []

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.harness import cache as cache_mod
+from repro.harness.experiment import clear_cache
 from repro.config import (
     MHPEConfig,
     PatternBufferConfig,
@@ -14,6 +16,20 @@ from repro.config import (
     UVMConfig,
 )
 from repro.workloads.base import Workload
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path):
+    """Point the active disk cache at a per-test temporary directory and
+    start every test with an empty in-process memo, so tests can never
+    poison each other's results (directly or via ~/.cache)."""
+    previous = cache_mod.set_active_cache(
+        cache_mod.ResultCache(tmp_path / "result-cache")
+    )
+    clear_cache(disk=False)
+    yield
+    cache_mod.set_active_cache(previous)
+    clear_cache(disk=False)
 
 
 @pytest.fixture

@@ -102,3 +102,76 @@ class TestSweepCommand:
              "--knee-threshold", "1.5"]
         ) == 0
         assert "knee" in capsys.readouterr().out
+
+
+class TestRegenCommand:
+    def test_regen_figure_with_cache_dir(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["regen", "fig3", "--apps", "STN", "--scale", "0.25",
+             "--jobs", "1", "--cache-dir", str(cache_dir)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "fig3" in captured.out
+        assert "new simulations" in captured.err
+        assert list(cache_dir.glob("*/*.pkl"))  # results persisted
+
+    def test_regen_warm_cache_does_zero_new_simulations(self, capsys, tmp_path):
+        from repro.harness.experiment import clear_cache, execution_count
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["regen", "fig3", "--apps", "STN", "--scale", "0.25",
+                "--jobs", "1", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        clear_cache(disk=False)  # simulate a fresh session
+        before = execution_count()
+        assert main(argv) == 0
+        assert execution_count() == before
+        assert "0 new simulations" in capsys.readouterr().err
+
+    def test_regen_parallel_table(self, capsys, tmp_path):
+        assert main(
+            ["regen", "overhead", "--apps", "STN", "NW", "--scale", "0.25",
+             "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_regen_no_cache(self, capsys, tmp_path):
+        assert main(
+            ["regen", "fig3", "--apps", "STN", "--scale", "0.25",
+             "--jobs", "1", "--no-cache"]
+        ) == 0
+        assert "fig3" in capsys.readouterr().out
+
+    def test_regen_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["regen", "fig99"])
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["regen", "fig3", "--apps", "STN", "--scale", "0.25",
+              "--jobs", "1", "--cache-dir", cache_dir])
+        return cache_dir
+
+    def test_stats(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 3  # STN x baseline/random/lru-20
+        assert stats["bytes"] > 0
+
+    def test_clear(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])

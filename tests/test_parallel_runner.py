@@ -1,0 +1,204 @@
+"""Differential suite: the parallel experiment engine must be
+indistinguishable from serial execution (repro.harness.parallel).
+
+Simulations are seeded and deterministic, so for any batch of specs the
+``ParallelRunner`` (``jobs >= 2``, ProcessPoolExecutor) must produce
+``SimulationResult`` payloads field-for-field identical to serial
+``run_matrix`` output — including crash outcomes — and a warm disk cache
+must make repeated figure regenerations perform zero new simulations.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimConfig, SMConfig
+from repro.harness import cache as cache_mod
+from repro.harness import figures
+from repro.harness.experiment import (
+    RunSpec,
+    clear_cache,
+    execution_count,
+    run_matrix,
+)
+from repro.harness.parallel import ParallelRunner, default_jobs
+
+FAST = SimConfig(sm=SMConfig(num_sms=4))
+
+#: 3 apps x 3 setups x 2 oversubscription rates x 2 seeds (the acceptance
+#: matrix), plus crash-model specs so crashed outcomes are covered too.
+APPS = ("STN", "NW", "HIS")
+SETUPS = ("baseline", "cppe", "random")
+RATES = (0.75, 0.5)
+SEEDS = (None, 3)
+
+MATRIX = [
+    RunSpec(app, setup, rate, scale=0.25, seed=seed)
+    for app in APPS
+    for setup in SETUPS
+    for rate in RATES
+    for seed in SEEDS
+]
+CRASH_SPECS = [
+    RunSpec(app, "baseline", 0.5, scale=0.25, crash_budget_factor=0.25)
+    for app in APPS
+]
+
+
+def result_payload(result) -> dict:
+    """Every field of a SimulationResult (stats included), as plain data."""
+    return dataclasses.asdict(result)
+
+
+def run_serial(specs, config=FAST):
+    clear_cache(disk=False)
+    return run_matrix(specs, config=config, cache=None)
+
+
+def run_parallel(specs, config=FAST, jobs=2, **kwargs):
+    clear_cache(disk=False)  # force actual (re-)execution in workers
+    runner = ParallelRunner(jobs=jobs, cache=None, **kwargs)
+    results = runner.run(specs, config=config)
+    return runner, dict(zip((s.key() for s in specs), results))
+
+
+class TestDifferential:
+    def test_parallel_identical_to_serial_across_matrix(self):
+        serial = run_serial(MATRIX)
+        runner, parallel = run_parallel(MATRIX)
+        assert runner.simulated == len(MATRIX)
+        for spec in MATRIX:
+            assert result_payload(serial[spec.key()]) == result_payload(
+                parallel[spec.key()]
+            ), f"parallel diverged from serial for {spec}"
+
+    def test_crash_outcomes_identical(self):
+        serial = run_serial(CRASH_SPECS)
+        _, parallel = run_parallel(CRASH_SPECS)
+        crashed = 0
+        for spec in CRASH_SPECS:
+            s, p = serial[spec.key()], parallel[spec.key()]
+            assert (s.crashed, s.crash_reason) == (p.crashed, p.crash_reason)
+            assert result_payload(s) == result_payload(p)
+            crashed += s.crashed
+        assert crashed == len(CRASH_SPECS)  # the budget is tight on purpose
+
+    def test_run_matrix_jobs_flag_matches_serial(self):
+        specs = MATRIX[:6]
+        serial = run_serial(specs)
+        clear_cache(disk=False)
+        parallel = run_matrix(specs, config=FAST, cache=None, jobs=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert result_payload(serial[key]) == result_payload(parallel[key])
+
+    def test_jobs_1_runs_serially_in_process(self):
+        specs = MATRIX[:4]
+        serial = run_serial(specs)
+        before = execution_count()
+        runner, parallel = run_parallel(specs, jobs=1)
+        assert execution_count() - before == len(specs)  # no pool involved
+        for spec in specs:
+            assert result_payload(serial[spec.key()]) == result_payload(
+                parallel[spec.key()]
+            )
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        from repro.harness import parallel as parallel_mod
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pool on this platform")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", broken_pool)
+        specs = MATRIX[:4]
+        serial = run_serial(specs)
+        runner, parallel = run_parallel(specs, jobs=2)
+        assert runner.fell_back_serial
+        assert runner.simulated == len(specs)
+        for spec in specs:
+            assert result_payload(serial[spec.key()]) == result_payload(
+                parallel[spec.key()]
+            )
+
+
+class TestRunnerBehaviour:
+    def test_duplicates_simulate_once(self):
+        spec = MATRIX[0]
+        runner, _ = run_parallel([spec, spec, spec], jobs=2)
+        assert runner.simulated == 1
+
+    def test_results_align_with_input_order(self):
+        specs = [MATRIX[2], MATRIX[0], MATRIX[2]]
+        clear_cache(disk=False)
+        results = ParallelRunner(jobs=2, cache=None).run(specs, config=FAST)
+        assert [r.workload for r in results] == [s.app for s in specs]
+        assert result_payload(results[0]) == result_payload(results[2])
+
+    def test_progress_reports_every_spec(self):
+        seen = []
+        runner, _ = run_parallel(
+            MATRIX[:5], jobs=2, progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen[-1] == (5, 5)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+        assert ParallelRunner().jobs == default_jobs()
+
+    def test_memo_hits_counted(self):
+        specs = MATRIX[:3]
+        run_matrix(specs, config=FAST, cache=None)  # populate the memo
+        runner = ParallelRunner(jobs=2, cache=None)
+        runner.run(specs, config=FAST)
+        assert runner.memo_hits == len(specs)
+        assert runner.simulated == 0
+
+    def test_simulation_errors_propagate(self):
+        from repro.errors import ReproError
+
+        clear_cache(disk=False)
+        with pytest.raises(ReproError):
+            ParallelRunner(jobs=2, cache=None).run(
+                [RunSpec("NO-SUCH-APP", "baseline", 0.5)]
+            )
+
+
+class TestWarmCacheRegeneration:
+    """Acceptance: a warm disk cache makes a repeated figure regeneration
+    perform zero new simulations."""
+
+    def test_fig3_regeneration_hits_only_the_disk_cache(self):
+        apps = ["STN", "NW"]
+        cache = cache_mod.get_active_cache()  # per-test tmp dir (conftest)
+        assert cache is not None
+
+        figures.fig3(apps=apps, scale=0.25, jobs=2)
+        cold_stores = cache.stores
+        assert cold_stores == len(apps) * 3  # baseline/random/lru-20 each
+
+        # A "new session": the in-process memo is gone, the disk survives.
+        clear_cache(disk=False)
+        hits_before, misses_before = cache.hits, cache.misses
+        executed_before = execution_count()
+        second = figures.fig3(apps=apps, scale=0.25, jobs=2)
+
+        assert cache.stores == cold_stores  # zero new simulations stored
+        assert cache.misses == misses_before  # every lookup hit
+        assert execution_count() == executed_before  # none run in-process
+        assert cache.hits - hits_before == cold_stores  # all served from disk
+        assert second.series  # and the figure still materialised
+
+    def test_sweep_reuses_disk_cache_across_sessions(self):
+        from repro.analysis.sweep import capacity_sweep
+
+        cache = cache_mod.get_active_cache()
+        first = capacity_sweep("STN", "baseline", rates=(1.0, 0.5), scale=0.25)
+        clear_cache(disk=False)
+        misses_before, executed_before = cache.misses, execution_count()
+        second = capacity_sweep("STN", "baseline", rates=(1.0, 0.5), scale=0.25)
+        assert execution_count() == executed_before
+        assert cache.misses == misses_before
+        assert [dataclasses.asdict(p) for p in first.points] == [
+            dataclasses.asdict(p) for p in second.points
+        ]

@@ -1,0 +1,70 @@
+"""Property-based determinism guarantees for the disk cache's soundness.
+
+The persistent result cache assumes a ``SimulationResult`` is a pure
+function of ``(RunSpec, SimConfig)``.  Hidden global state (an unseeded
+RNG, import-order-dependent dict, leaked module-level counter) would break
+that silently: cached results would differ from fresh ones.  These
+properties assert that the *serialized bytes* of a result — exactly what
+the cache stores — are identical when the same spec runs twice, both
+within one process and across fresh spawned interpreters.
+"""
+
+import multiprocessing
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig, SMConfig
+from repro.harness.cache import serialize_result
+from repro.harness.experiment import RunSpec, run_one
+
+FAST = SimConfig(sm=SMConfig(num_sms=4))
+
+APPS = ("STN", "NW", "HIS", "B+T")
+SETUPS = ("baseline", "cppe", "random", "stop-on-full")
+
+spec_strategy = st.builds(
+    RunSpec,
+    app=st.sampled_from(APPS),
+    setup=st.sampled_from(SETUPS),
+    oversubscription=st.sampled_from((0.75, 0.5)),
+    scale=st.just(0.25),
+    seed=st.sampled_from((None, 0, 7)),
+    crash_budget_factor=st.sampled_from((None, 0.25)),
+)
+
+
+def _simulate_bytes(spec: RunSpec) -> bytes:
+    """Top-level so a spawned interpreter can import and run it."""
+    return serialize_result(run_one(spec, config=FAST, use_cache=False))
+
+
+@given(spec=spec_strategy)
+@settings(max_examples=12, deadline=None)
+def test_same_spec_serializes_identically_in_process(spec):
+    assert _simulate_bytes(spec) == _simulate_bytes(spec)
+
+
+@given(spec=spec_strategy)
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_same_spec_serializes_identically_in_fresh_processes(spec):
+    """Run the spec in two freshly *spawned* interpreters (no inherited
+    state at all) and require byte-identical serialized results."""
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=1, maxtasksperchild=1) as pool:
+        first, second = pool.map(_simulate_bytes, [spec, spec])
+    assert first == second
+
+
+def test_fresh_process_matches_parent_process():
+    """A worker's result must also match the parent's own simulation —
+    the exact situation the parallel runner + disk cache create."""
+    spec = RunSpec("STN", "cppe", 0.5, scale=0.25)
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=1, maxtasksperchild=1) as pool:
+        (child,) = pool.map(_simulate_bytes, [spec])
+    assert child == _simulate_bytes(spec)
