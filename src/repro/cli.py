@@ -26,6 +26,9 @@ Commands
 ``cache``
     Inspect (``cache stats``) or clear (``cache clear``) the persistent
     result cache.
+``lint``
+    Static determinism / cache-integrity / parallel-safety analysis
+    (see LINTING.md).  Exit code 0 = clean, 1 = findings, 2 = usage error.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from .harness import cache as cache_mod
@@ -145,6 +149,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bypass the persistent result cache")
     regen_p.add_argument("--apps", nargs="*", default=None)
     regen_p.add_argument("--scale", type=float, default=1.0)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static determinism & cache-integrity checks (LINTING.md)",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to check (default: src)",
+    )
+    lint_p.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
@@ -310,6 +327,8 @@ def _cmd_regen(args: argparse.Namespace) -> int:
         before_hits, before_stores = (
             (active.hits, active.stores) if active else (0, 0)
         )
+        # Harness-side wall clock: feeds the per-batch timing line on stderr
+        # only, never simulation state (boundary: devtools.boundary, REPRO102).
         started = time.time()
         kwargs = dict(scale=args.scale, jobs=args.jobs,
                       progress=stderr_progress(name))
@@ -327,6 +346,34 @@ def _cmd_regen(args: argparse.Namespace) -> int:
             )
         print(batch, file=sys.stderr)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools import all_rules, run_lint
+
+    if args.list_rules:
+        rows = [[cls.rule_id, cls.title, cls.rationale] for cls in all_rules()]
+        print(render_table(["rule", "title", "rationale"], rows,
+                           title="repro lint rule catalogue (see LINTING.md)"))
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = run_lint(args.paths)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_checked} file(s)"
+        )
+        print(summary if report.findings else f"clean: {summary}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -368,6 +415,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "regen":
         return _cmd_regen(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -16,7 +16,7 @@ CPU-GPU interconnect  16 GB/s, 20 us page fault service time
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from .errors import ConfigError
 from .units import (
@@ -271,6 +271,6 @@ class SimConfig:
     pattern_buffer: PatternBufferConfig = field(default_factory=PatternBufferConfig)
     seed: int = 0
 
-    def with_(self, **kwargs) -> "SimConfig":
+    def with_(self, **kwargs: Any) -> "SimConfig":
         """Return a copy with the given top-level fields replaced."""
         return replace(self, **kwargs)

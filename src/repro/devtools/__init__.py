@@ -1,0 +1,61 @@
+"""Static-analysis devtools: the ``repro lint`` reproducibility gate.
+
+The evaluation pipeline rests on two invariants:
+
+1. **Determinism** — every simulation is a pure function of
+   ``(RunSpec, SimConfig)``.  Serial, parallel and fresh-process runs must
+   be bit-identical, otherwise the serial-vs-parallel differential tests
+   and the paper's figures silently diverge.
+2. **Cache-key integrity** — the persistent result cache
+   (:mod:`repro.harness.cache`) is keyed by a content hash over *every*
+   ``RunSpec``/``SimConfig`` field.  A config field that escapes the hash
+   poisons cached Figures 7–10 with stale results.
+
+Hand-written tests catch specific regressions; this package catches whole
+*classes* of them statically, with a custom AST checker that needs no
+third-party lint framework:
+
+* :mod:`~repro.devtools.determinism` — ``REPRO1xx``: wall-clock reads,
+  unseeded module-level RNG, environment reads, set-ordering, ``id()``
+  keys inside the simulation packages.
+* :mod:`~repro.devtools.cache_integrity` — ``REPRO2xx``: hashed-dataclass
+  fields that escape fingerprint functions, mutable defaults, non-field
+  state on hashed dataclasses.
+* :mod:`~repro.devtools.parallel_safety` — ``REPRO3xx``: module-global
+  mutation, non-picklable worker callables, config mutation in code
+  reachable from :class:`~repro.harness.parallel.ParallelRunner` workers.
+* :mod:`~repro.devtools.ratchet` — ``REPRO4xx``: the mypy strictness
+  allowlist in ``pyproject.toml`` may only shrink.
+
+Entry points: ``python -m repro lint [PATHS]`` (see :mod:`repro.cli`) or
+:func:`run_lint` programmatically.  Suppress a finding with a trailing or
+preceding ``# repro-lint: disable=RULEID`` comment; see LINTING.md for the
+full rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .boundary import (
+    HARNESS_PACKAGES,
+    PARALLEL_SCOPE,
+    SIMULATION_PACKAGES,
+    is_parallel_scope,
+    is_simulation_module,
+)
+from .checker import LintReport, run_lint
+from .findings import Finding
+from .rules import RULES, all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "run_lint",
+    "RULES",
+    "all_rules",
+    "get_rule",
+    "SIMULATION_PACKAGES",
+    "HARNESS_PACKAGES",
+    "PARALLEL_SCOPE",
+    "is_simulation_module",
+    "is_parallel_scope",
+]

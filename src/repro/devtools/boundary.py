@@ -1,0 +1,112 @@
+"""The harness-vs-simulation boundary, made explicit.
+
+Determinism rules must not fire on *harness* code: timing a regeneration
+batch with ``time.time()`` (``repro.cli``, ``repro.harness.docgen``) is
+legitimate — the wall clock feeds progress display only, never simulation
+state, so it cannot perturb cached results.  The same call inside
+``repro.engine`` would be a reproducibility bug.  Rather than leaving that
+distinction to accident (or to scattered suppression comments), this module
+is the single authority on which packages are *simulation* code (strict
+determinism applies), which are *harness* code (wall clock and environment
+reads allowed), and which code is reachable from
+:class:`~repro.harness.parallel.ParallelRunner` worker processes
+(parallel-safety rules apply).
+
+A module's classification follows its dotted name; corpus/test files can
+override their module name with a ``# repro-lint: module=...`` directive
+(see :mod:`repro.devtools.checker`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = [
+    "SIMULATION_PACKAGES",
+    "HARNESS_PACKAGES",
+    "PARALLEL_SCOPE",
+    "HASHED_CONFIG_MODULES",
+    "is_simulation_module",
+    "is_harness_module",
+    "is_parallel_scope",
+    "is_hashed_config_module",
+]
+
+#: Packages whose code *is* the simulation: anything nondeterministic here
+#: (wall clock, unseeded RNG, env reads, set ordering, id() keys) can reach
+#: simulation state and silently poison cached Figures 7-10.
+SIMULATION_PACKAGES: FrozenSet[str] = frozenset(
+    {
+        "repro.engine",
+        "repro.policies",
+        "repro.prefetch",
+        "repro.memsim",
+        "repro.core",
+        "repro.translation",
+        "repro.workloads",
+    }
+)
+
+#: Harness-side code: drives simulations, renders artifacts, talks to the
+#: OS.  Wall-clock reads (timing display), ``os.environ`` (cache location
+#: knobs) and similar are *allowed* here — audited call sites:
+#: ``repro.cli`` regen batch timing and ``repro.harness.docgen`` per-artifact
+#: timing read the clock for stderr logging only.
+HARNESS_PACKAGES: FrozenSet[str] = frozenset(
+    {
+        "repro.cli",
+        "repro.__main__",
+        "repro.harness",
+        "repro.analysis",
+        "repro.devtools",
+    }
+)
+
+#: Modules whose code runs inside ``ParallelRunner`` worker processes (or is
+#: imported by it): worker entry points must be top-level picklables and must
+#: not mutate module globals or shared config objects, or serial and parallel
+#: runs diverge.  The simulation packages are all in scope — ``_execute``
+#: imports them into every worker.
+PARALLEL_SCOPE: FrozenSet[str] = SIMULATION_PACKAGES | frozenset(
+    {
+        "repro.harness.experiment",
+        "repro.harness.parallel",
+    }
+)
+
+#: Modules whose dataclasses feed the persistent result-cache content hash
+#: (:func:`repro.harness.cache.spec_fingerprint`).  Every field of every
+#: dataclass here must be reachable from the fingerprint; mutable or
+#: non-field state on them escapes the hash.
+HASHED_CONFIG_MODULES: FrozenSet[str] = frozenset(
+    {
+        "repro.config",
+        "repro.harness.experiment",
+    }
+)
+
+
+def _in_packages(module: str, packages: FrozenSet[str]) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in packages
+    )
+
+
+def is_simulation_module(module: str) -> bool:
+    """True when ``module`` is simulation code (strict determinism rules)."""
+    return _in_packages(module, SIMULATION_PACKAGES)
+
+
+def is_harness_module(module: str) -> bool:
+    """True when ``module`` is harness code (wall clock / env reads allowed)."""
+    return _in_packages(module, HARNESS_PACKAGES)
+
+
+def is_parallel_scope(module: str) -> bool:
+    """True when ``module``'s code can run inside pool worker processes."""
+    return _in_packages(module, PARALLEL_SCOPE)
+
+
+def is_hashed_config_module(module: str) -> bool:
+    """True when ``module``'s dataclasses feed the result-cache hash."""
+    return _in_packages(module, HASHED_CONFIG_MODULES)

@@ -1,0 +1,341 @@
+"""Cache-integrity rules (``REPRO2xx``).
+
+The persistent result cache keys every entry by a content hash over
+``RunSpec`` + ``SimConfig`` (:func:`repro.harness.cache.spec_fingerprint`).
+The invariant these rules guard: **every field of every hashed dataclass
+must be reachable from the fingerprint functions**, and nothing on those
+dataclasses may change after construction without changing the hash.
+
+``REPRO201`` is a cross-module check: it collects dataclass definitions
+from :data:`~repro.devtools.boundary.HASHED_CONFIG_MODULES` (and from any
+file that defines both the dataclass and a fingerprint function, so corpus
+snippets are self-contained), then inspects every *fingerprint function*
+(name containing ``fingerprint`` or ``cache_key``).  A fingerprint that
+hashes the whole object (``dataclasses.asdict``/``astuple`` on the
+parameter, or delegation of the whole parameter to another call) covers all
+fields by construction — including fields added later, which is why the
+production code hashes via ``asdict``.  A fingerprint that instead
+enumerates fields explicitly (``{"seed": config.seed, ...}``) is checked
+field-for-field: any dataclass field it never reads is flagged, because a
+newly added field would silently not change cache keys, serving stale
+Figures 7–10 from the cache.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .boundary import is_hashed_config_module
+from .findings import Finding
+from .rules import (
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    dotted_name,
+    register,
+)
+
+__all__ = [
+    "DataclassInfo",
+    "collect_dataclasses",
+    "CacheKeyCoverageRule",
+    "MutableDefaultRule",
+    "NonFieldStateRule",
+]
+
+_FINGERPRINT_NAME = re.compile(r"(fingerprint|cache_key)", re.IGNORECASE)
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@dataclass
+class DataclassInfo:
+    """A dataclass definition as seen by the AST pass."""
+
+    name: str
+    module: str
+    ctx: FileContext
+    node: ast.ClassDef
+    fields: List[str] = field(default_factory=list)
+    #: (field name, anchor node) for mutable defaults / default factories.
+    mutable_defaults: List[Tuple[str, ast.AST]] = field(default_factory=list)
+    #: class-level assignments without annotation (invisible to asdict()).
+    unannotated: List[Tuple[str, ast.AST]] = field(default_factory=list)
+    #: object.__setattr__(self, <name>, ...) for names that are not fields.
+    nonfield_setattr: List[Tuple[str, ast.AST]] = field(default_factory=list)
+
+
+def _is_dataclass_decorator(node: ast.AST, ctx: FileContext) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    name = dotted_name(target, ctx.imports)
+    return name in ("dataclasses.dataclass", "dataclass")
+
+
+def _mutable_default_anchor(
+    value: Optional[ast.expr], ctx: FileContext
+) -> Optional[ast.AST]:
+    """The offending node when a field default is mutable, else ``None``."""
+    if value is None:
+        return None
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return value
+    if isinstance(value, ast.Call):
+        callee = dotted_name(value.func, ctx.imports)
+        if callee in ("dataclasses.field", "field"):
+            for kw in value.keywords:
+                if kw.arg == "default_factory" and isinstance(kw.value, ast.Name):
+                    if kw.value.id in _MUTABLE_FACTORIES:
+                        return kw.value
+        elif callee in _MUTABLE_FACTORIES:
+            return value
+    return None
+
+
+def _collect_one(node: ast.ClassDef, ctx: FileContext) -> DataclassInfo:
+    info = DataclassInfo(name=node.name, module=ctx.module, ctx=ctx, node=node)
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            annotation = ast.dump(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            info.fields.append(stmt.target.id)
+            anchor = _mutable_default_anchor(stmt.value, ctx)
+            if anchor is not None:
+                info.mutable_defaults.append((stmt.target.id, anchor))
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    info.unannotated.append((target.id, stmt))
+    field_set = set(info.fields)
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        if dotted_name(sub.func, ctx.imports) != "object.__setattr__":
+            continue
+        if len(sub.args) >= 2 and isinstance(sub.args[1], ast.Constant):
+            attr = sub.args[1].value
+            if isinstance(attr, str) and attr not in field_set:
+                info.nonfield_setattr.append((attr, sub))
+    return info
+
+
+def collect_dataclasses(ctx: FileContext) -> List[DataclassInfo]:
+    """All dataclass definitions in one file."""
+    out: List[DataclassInfo] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef) and any(
+            _is_dataclass_decorator(dec, ctx) for dec in node.decorator_list
+        ):
+            out.append(_collect_one(node, ctx))
+    return out
+
+
+def _annotation_class_name(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Terminal class name of a parameter annotation.
+
+    Handles ``SimConfig``, ``"RunSpec"`` (string annotation),
+    ``Optional[SimConfig]`` and ``mod.SimConfig``; returns the bare class
+    name for lookup against collected dataclasses.
+    """
+    node = annotation
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):  # Optional[X] / Union[X, None]
+        inner = node.slice
+        if isinstance(inner, ast.Tuple):
+            for elt in inner.elts:
+                name = _annotation_class_name(elt)
+                if name is not None and name != "None":
+                    return name
+            return None
+        return _annotation_class_name(inner)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return None if node.id == "None" else node.id
+    return None
+
+
+def _is_alias_expr(value: ast.expr, aliases: Set[str]) -> bool:
+    """True when ``value`` evaluates to (possibly) the aliased object itself.
+
+    Covers plain rebinding, the ``effective = config if config is not None
+    else SimConfig()`` idiom, and ``config or DEFAULT`` — but *not*
+    arbitrary expressions that merely read attributes off the parameter
+    (a dict built from ``cfg.seed`` is a projection, not an alias).
+    """
+    if isinstance(value, ast.Name):
+        return value.id in aliases
+    if isinstance(value, ast.IfExp):
+        return _is_alias_expr(value.body, aliases) or _is_alias_expr(
+            value.orelse, aliases
+        )
+    if isinstance(value, ast.BoolOp):
+        return any(_is_alias_expr(v, aliases) for v in value.values)
+    return False
+
+
+def _param_aliases(fn: ast.FunctionDef, param: str) -> Set[str]:
+    """``param`` plus local names rebound to (possibly) the same object."""
+    aliases = {param}
+    changed = True
+    while changed:
+        changed = False
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not _is_alias_expr(stmt.value, aliases):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id not in aliases:
+                    aliases.add(target.id)
+                    changed = True
+    return aliases
+
+
+_WHOLE_OBJECT_CALLS = frozenset(
+    {"dataclasses.asdict", "asdict", "dataclasses.astuple", "astuple"}
+)
+
+#: Builtins that inspect but cannot cover an object's fields — passing the
+#: parameter to these does *not* count as delegating the fingerprint.
+_NON_DELEGATING = frozenset(
+    {"isinstance", "issubclass", "print", "len", "type", "id", "repr", "bool"}
+)
+
+
+def _coverage(
+    fn: ast.FunctionDef, param: str, ctx: FileContext
+) -> Tuple[bool, Set[str]]:
+    """(whole-object hashed or delegated, explicitly read fields).
+
+    ``dataclasses.asdict(param)`` covers every field by construction;
+    passing the whole parameter to any other callable is treated as
+    delegation (the callee's own fingerprinting is checked separately).
+    """
+    aliases = _param_aliases(fn, param)
+    fields_read: Set[str] = set()
+    whole = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func, ctx.imports)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in aliases:
+                    if callee in _WHOLE_OBJECT_CALLS:
+                        whole = True
+                    elif callee is None or callee not in _NON_DELEGATING:
+                        whole = True
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id in aliases:
+                fields_read.add(node.attr)
+    return whole, fields_read
+
+
+@register
+class CacheKeyCoverageRule(ProjectRule):
+    rule_id = "REPRO201"
+    title = "hashed dataclass field missing from fingerprint"
+    rationale = (
+        "a SimConfig/RunSpec field that never reaches the cache content "
+        "hash means two different configurations share a cache key — "
+        "regenerated figures silently reuse results from the wrong config."
+    )
+    fix_hint = (
+        "hash the whole object (dataclasses.asdict) or add the missing "
+        "field to the fingerprint payload"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        classes: Dict[str, DataclassInfo] = {}
+        for ctx in project.files:
+            for info in collect_dataclasses(ctx):
+                classes.setdefault(info.name, info)
+        if not classes:
+            return
+        for ctx in project.files:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                if not _FINGERPRINT_NAME.search(node.name):
+                    continue
+                for arg in node.args.args:
+                    cls_name = _annotation_class_name(arg.annotation)
+                    if cls_name is None or cls_name not in classes:
+                        continue
+                    info = classes[cls_name]
+                    whole, fields_read = _coverage(node, arg.arg, ctx)
+                    if whole or not fields_read:
+                        continue  # whole-object hash / pure delegation
+                    missing = sorted(set(info.fields) - fields_read)
+                    if missing:
+                        yield ctx.finding(
+                            node,
+                            self,
+                            f"fingerprint `{node.name}` reads "
+                            f"{sorted(fields_read)} of `{cls_name}` but "
+                            f"misses field(s) {missing}",
+                        )
+
+
+@register
+class MutableDefaultRule(ProjectRule):
+    rule_id = "REPRO202"
+    title = "mutable default on a hashed dataclass field"
+    rationale = (
+        "a list/dict/set default on a hashed config dataclass can be "
+        "mutated after construction, changing simulation behaviour without "
+        "changing the already-computed cache key."
+    )
+    fix_hint = "use an immutable default (tuple, frozenset, frozen dataclass)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.files:
+            if not is_hashed_config_module(ctx.module):
+                continue
+            for info in collect_dataclasses(ctx):
+                for name, anchor in info.mutable_defaults:
+                    yield ctx.finding(
+                        anchor,
+                        self,
+                        f"field `{info.name}.{name}` has a mutable default",
+                    )
+
+
+@register
+class NonFieldStateRule(ProjectRule):
+    rule_id = "REPRO203"
+    title = "non-field state on a hashed dataclass"
+    rationale = (
+        "class attributes without annotations and object.__setattr__ of "
+        "non-field names are invisible to dataclasses.asdict(), so they "
+        "escape the cache content hash entirely."
+    )
+    fix_hint = "declare it as an annotated dataclass field (or ClassVar)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.files:
+            if not is_hashed_config_module(ctx.module):
+                continue
+            for info in collect_dataclasses(ctx):
+                for name, anchor in info.unannotated:
+                    yield ctx.finding(
+                        anchor,
+                        self,
+                        f"`{info.name}.{name}` is an unannotated class "
+                        "attribute (not a dataclass field)",
+                    )
+                for name, anchor in info.nonfield_setattr:
+                    yield ctx.finding(
+                        anchor,
+                        self,
+                        f"`{info.name}` sets non-field attribute `{name}` "
+                        "via object.__setattr__",
+                    )

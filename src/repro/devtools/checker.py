@@ -1,0 +1,183 @@
+"""Checker orchestration: discover files, run rules, filter suppressions.
+
+:func:`run_lint` is the single entry point used by the ``repro lint`` CLI
+and by the test suite.  It expands the given paths to ``.py`` files,
+parses each once, runs every registered :class:`~repro.devtools.rules.FileRule`
+per file and every :class:`~repro.devtools.rules.ProjectRule` once over the
+batch, drops findings covered by ``# repro-lint: disable=...`` comments,
+and returns them sorted by location.
+
+Module names are derived from the path (anchored at the ``repro`` package
+or a ``src/`` directory); a ``# repro-lint: module=...`` directive in the
+first few lines overrides the derivation, which is how the lint corpus
+masquerades as simulation code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .findings import Finding
+from .rules import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    all_rules,
+    module_directive,
+)
+
+# Rule modules register themselves on import; keep these imports even
+# though nothing here references them by name.
+from . import cache_integrity as _cache_integrity  # noqa: F401
+from . import determinism as _determinism  # noqa: F401
+from . import parallel_safety as _parallel_safety  # noqa: F401
+from . import ratchet as _ratchet  # noqa: F401
+
+__all__ = ["LintReport", "run_lint", "module_name_for", "PARSE_ERROR_RULE"]
+
+#: Rule id attached to files the checker cannot parse at all.
+PARSE_ERROR_RULE = "REPRO901"
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> "dict[str, object]":
+        from .findings import JSON_SCHEMA_VERSION
+
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file path.
+
+    Anchors at the last path component named ``repro`` (the package) or,
+    failing that, the component after a ``src`` directory; falls back to
+    the bare stem.  ``__init__.py`` maps to its package.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    anchor: Optional[int] = None
+    for idx, part in enumerate(parts):
+        if part == "repro":
+            anchor = idx
+        elif part == "src" and idx + 1 < len(parts) and anchor is None:
+            anchor = idx + 1
+    if anchor is None:
+        return parts[-1] if parts else ""
+    return ".".join(parts[anchor:])
+
+
+def _iter_py_files(paths: Sequence[Union[str, Path]]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+        else:
+            yield path
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            pass
+    return str(path)
+
+
+def _find_project_root(paths: Sequence[Path]) -> Optional[Path]:
+    """Nearest ancestor of the first path that holds ``pyproject.toml``."""
+    for start in paths:
+        candidate = start.resolve()
+        if candidate.is_file():
+            candidate = candidate.parent
+        for ancestor in [candidate, *candidate.parents]:
+            if (ancestor / "pyproject.toml").is_file():
+                return ancestor
+    return None
+
+
+def run_lint(paths: Sequence[Union[str, Path]]) -> LintReport:
+    """Lint ``paths`` (files and/or directories) with every registered rule."""
+    report = LintReport()
+    files = list(_iter_py_files(paths))
+    root = _find_project_root([Path(p) for p in paths])
+    contexts: List[FileContext] = []
+    for path in files:
+        display = _display_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.findings.append(
+                Finding(
+                    path=display,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    column=1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"cannot parse file: {exc}",
+                    fix_hint="fix the syntax error (nothing else was checked)",
+                )
+            )
+            continue
+        module = module_directive(source) or module_name_for(path)
+        contexts.append(
+            FileContext(
+                path=path,
+                display_path=display,
+                module=module,
+                source=source,
+                tree=tree,
+            )
+        )
+    report.files_checked = len(contexts)
+
+    file_rules: List[FileRule] = []
+    project_rules: List[ProjectRule] = []
+    for rule_cls in all_rules():
+        rule = rule_cls()
+        if isinstance(rule, FileRule):
+            file_rules.append(rule)
+        elif isinstance(rule, ProjectRule):
+            project_rules.append(rule)
+
+    raw: List[Finding] = []
+    for ctx in contexts:
+        for frule in file_rules:
+            raw.extend(frule.check(ctx))
+    project = ProjectContext(files=contexts, root=root)
+    for prule in project_rules:
+        raw.extend(prule.check_project(project))
+
+    by_path = {ctx.display_path: ctx for ctx in contexts}
+    for finding in raw:
+        ctx_for = by_path.get(finding.path)
+        if ctx_for is not None and ctx_for.is_suppressed(
+            finding.rule, finding.line
+        ):
+            continue
+        report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return report

@@ -1,0 +1,224 @@
+"""Determinism rules (``REPRO1xx``).
+
+Simulation results must be a pure function of ``(RunSpec, SimConfig)`` —
+that is what makes serial/parallel/fresh-process runs bit-identical and the
+persistent result cache sound.  These rules flag constructs that smuggle
+process- or host-specific state into code under
+:data:`~repro.devtools.boundary.SIMULATION_PACKAGES`; harness code is
+exempt (see :mod:`repro.devtools.boundary` for the audited boundary).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List
+
+from .boundary import is_simulation_module
+from .findings import Finding
+from .rules import FileContext, FileRule, dotted_name, register
+
+__all__ = [
+    "ModuleLevelRngRule",
+    "WallClockRule",
+    "EnvReadRule",
+    "SetOrderRule",
+    "IdKeyRule",
+]
+
+#: ``random.<ctor>`` calls that are fine: they build *seedable instances*
+#: (the policies seed ``random.Random(config.seed)``), unlike the module
+#: functions which share hidden global state across the whole process.
+_SEEDED_RANDOM_CTORS: FrozenSet[str] = frozenset({"Random"})
+
+#: ``numpy.random.<name>`` that construct seeded generators (Generator API);
+#: everything else on ``numpy.random`` is the legacy global-state interface.
+_SEEDED_NUMPY_CTORS: FrozenSet[str] = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_WALLCLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+class _SimulationOnlyRule(FileRule):
+    """Shared gate: determinism rules apply only to simulation modules."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not is_simulation_module(ctx.module):
+            return
+        yield from self._check_simulation(ctx)
+
+    def _check_simulation(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+@register
+class ModuleLevelRngRule(_SimulationOnlyRule):
+    rule_id = "REPRO101"
+    title = "module-level RNG in simulation code"
+    rationale = (
+        "random.random()/np.random.rand() etc. draw from interpreter-global "
+        "state shared across every caller, so results depend on call order "
+        "across the whole process — parallel workers and serial runs diverge."
+    )
+    fix_hint = (
+        "draw from a seeded instance: random.Random(config.seed) or "
+        "np.random.default_rng(seed)"
+    )
+
+    def _check_simulation(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func, ctx.imports)
+            if target is None:
+                continue
+            if target.startswith("random."):
+                name = target.split(".", 1)[1]
+                if name not in _SEEDED_RANDOM_CTORS:
+                    yield ctx.finding(
+                        node, self, f"call to module-level `{target}`"
+                    )
+            elif target.startswith("numpy.random."):
+                name = target.rsplit(".", 1)[1]
+                if name not in _SEEDED_NUMPY_CTORS:
+                    yield ctx.finding(
+                        node, self, f"call to legacy global-state `{target}`"
+                    )
+
+
+@register
+class WallClockRule(_SimulationOnlyRule):
+    rule_id = "REPRO102"
+    title = "wall-clock / host-entropy read in simulation code"
+    rationale = (
+        "time.time(), datetime.now(), os.urandom() and friends read host "
+        "state; any influence on simulation results makes cached entries "
+        "unreproducible.  Harness-side timing display is exempt — see "
+        "devtools.boundary.HARNESS_PACKAGES."
+    )
+    fix_hint = (
+        "simulation time is the event clock (Simulator cycles); move "
+        "wall-clock reads to harness code"
+    )
+
+    def _check_simulation(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func, ctx.imports)
+            if target in _WALLCLOCK_CALLS:
+                yield ctx.finding(node, self, f"call to `{target}`")
+
+
+@register
+class EnvReadRule(_SimulationOnlyRule):
+    rule_id = "REPRO103"
+    title = "environment read in simulation code"
+    rationale = (
+        "os.environ / os.getenv values differ across hosts and CI runs; a "
+        "config knob read from the environment bypasses SimConfig and "
+        "therefore the cache content hash."
+    )
+    fix_hint = "thread the value through SimConfig so it enters the cache key"
+
+    def _check_simulation(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func, ctx.imports)
+                if target == "os.getenv":
+                    yield ctx.finding(node, self, "call to `os.getenv`")
+            elif isinstance(node, ast.Attribute):
+                if dotted_name(node, ctx.imports) == "os.environ":
+                    yield ctx.finding(node, self, "read of `os.environ`")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetOrderRule(_SimulationOnlyRule):
+    rule_id = "REPRO104"
+    title = "iteration over a set in simulation code"
+    rationale = (
+        "set iteration order depends on insertion history and element "
+        "hashes (incl. PYTHONHASHSEED for str keys); if the order reaches "
+        "simulation state, identical configs produce different results."
+    )
+    fix_hint = "iterate sorted(...) or use a dict/list, which preserve order"
+
+    def _check_simulation(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            candidates: List[ast.expr]
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                candidates = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                candidates = [gen.iter for gen in node.generators]
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                # list({...}) / tuple(set(...)) — order leaks into a sequence.
+                if node.func.id in ("list", "tuple", "enumerate") and node.args:
+                    candidates = [node.args[0]]
+                else:
+                    continue
+            else:
+                continue
+            for cand in candidates:
+                if _is_set_expr(cand):
+                    yield ctx.finding(
+                        cand, self, "iteration order of a set reaches code flow"
+                    )
+
+
+@register
+class IdKeyRule(_SimulationOnlyRule):
+    rule_id = "REPRO105"
+    title = "id()-derived key in simulation code"
+    rationale = (
+        "id() is a memory address: unique per process, different on every "
+        "run.  Keys or ordering derived from it cannot reproduce."
+    )
+    fix_hint = "key on a stable identifier (chunk id, page number, name)"
+
+    def _check_simulation(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and ctx.imports.resolve("id") is None
+                and len(node.args) == 1
+            ):
+                yield ctx.finding(node, self, "call to builtin `id()`")

@@ -1,0 +1,46 @@
+"""Structured lint findings and their serialisations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Finding", "JSON_SCHEMA_VERSION"]
+
+#: Bump when the JSON output shape changes (consumers key on this).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative when the checker can make it so, absolute
+    otherwise; ``line``/``column`` are 1-based (column 1 = first char),
+    matching compiler convention so editors can jump to the location.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    fix_hint: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable key set; see JSON_SCHEMA_VERSION)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering: ``path:line:col: RULE message [hint]``."""
+        text = f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+        if self.fix_hint:
+            text += f" (hint: {self.fix_hint})"
+        return text

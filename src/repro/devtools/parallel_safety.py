@@ -1,0 +1,220 @@
+"""Parallel-safety rules (``REPRO3xx``).
+
+:class:`~repro.harness.parallel.ParallelRunner` fans simulations out over a
+``ProcessPoolExecutor``.  Worker processes import the simulation packages
+and call :func:`repro.harness.experiment._execute`; the serial path runs
+the *same* code in the coordinator process.  Serial and parallel results
+stay field-for-field identical only if that shared code neither depends on
+nor mutates process-wide state:
+
+* mutating a module global works in-process but each worker mutates its own
+  copy — serial and parallel runs then see different state (``REPRO301``);
+* a lambda / nested function / bound method handed to ``submit``/``map``
+  fails to pickle at runtime, and only on the parallel path (``REPRO302``);
+* mutating a shared ``SimConfig`` mid-run changes behaviour without
+  changing the already-computed cache key (``REPRO303``).
+
+Scope: :data:`~repro.devtools.boundary.PARALLEL_SCOPE` (the simulation
+packages plus the experiment/parallel harness modules).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from .boundary import is_parallel_scope
+from .findings import Finding
+from .rules import FileContext, FileRule, dotted_name, register
+
+__all__ = [
+    "GlobalMutationRule",
+    "WorkerPicklableRule",
+    "ConfigMutationRule",
+]
+
+#: Parameter names treated as "the shared config object" by REPRO303.
+_CONFIG_NAMES = frozenset({"config", "cfg", "sim_config", "simconfig"})
+
+#: Executor methods whose first argument must be a picklable callable.
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+class _ParallelScopeRule(FileRule):
+    """Shared gate: parallel-safety rules apply inside PARALLEL_SCOPE."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not is_parallel_scope(ctx.module):
+            return
+        yield from self._check_scoped(ctx)
+
+    def _check_scoped(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+@register
+class GlobalMutationRule(_ParallelScopeRule):
+    rule_id = "REPRO301"
+    title = "module-global mutation in worker-reachable code"
+    rationale = (
+        "each pool worker gets its own copy of module globals; a function "
+        "that mutates one behaves differently under serial and parallel "
+        "execution, breaking the differential guarantee."
+    )
+    fix_hint = (
+        "return the value instead, or keep the state strictly per-process "
+        "and suppress with a justification"
+    )
+
+    def _check_scoped(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: Set[str] = set()
+            for stmt in fn.body:
+                if isinstance(stmt, ast.Global):
+                    declared.update(stmt.names)
+            if not declared:
+                continue
+            for node in ast.walk(fn):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in declared:
+                        yield ctx.finding(
+                            node,
+                            self,
+                            f"function `{fn.name}` mutates module global "
+                            f"`{target.id}`",
+                        )
+
+
+@register
+class WorkerPicklableRule(_ParallelScopeRule):
+    rule_id = "REPRO302"
+    title = "non-top-level callable submitted to a process pool"
+    rationale = (
+        "ProcessPoolExecutor pickles the callable by qualified name; "
+        "lambdas, nested functions and bound methods fail (or drag their "
+        "whole instance across the pickle boundary) — and only on the "
+        "parallel path, so tests of the serial path cannot catch it."
+    )
+    fix_hint = "use a module-level function as the worker entry point"
+
+    def _check_scoped(self, ctx: FileContext) -> Iterator[Finding]:
+        nested = self._nested_callables(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and node.args
+            ):
+                continue
+            worker = node.args[0]
+            if isinstance(worker, ast.Lambda):
+                yield ctx.finding(
+                    worker, self, "lambda submitted as pool worker"
+                )
+            elif isinstance(worker, ast.Attribute):
+                name = dotted_name(worker, ctx.imports)
+                yield ctx.finding(
+                    worker,
+                    self,
+                    f"attribute callable `{name or worker.attr}` submitted "
+                    "as pool worker (bound methods are not picklable by "
+                    "reference)",
+                )
+            elif isinstance(worker, ast.Name) and worker.id in nested:
+                yield ctx.finding(
+                    worker,
+                    self,
+                    f"nested function `{worker.id}` submitted as pool worker",
+                )
+
+    @staticmethod
+    def _nested_callables(tree: ast.Module) -> Set[str]:
+        """Names of functions/lambda-bindings defined inside other scopes."""
+        nested: Set[str] = set()
+
+        def visit(node: ast.AST, depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_depth = depth
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    if depth > 0:
+                        nested.add(child.name)
+                    child_depth = depth + 1
+                elif isinstance(child, ast.Assign) and depth > 0:
+                    if isinstance(child.value, ast.Lambda):
+                        for target in child.targets:
+                            if isinstance(target, ast.Name):
+                                nested.add(target.id)
+                elif isinstance(child, ast.ClassDef):
+                    child_depth = depth + 1
+                visit(child, child_depth)
+
+        visit(tree, 0)
+        return nested
+
+
+@register
+class ConfigMutationRule(_ParallelScopeRule):
+    rule_id = "REPRO303"
+    title = "mutation of a shared config object"
+    rationale = (
+        "SimConfig instances are shared across runs and hashed into cache "
+        "keys at submission time; mutating one mid-run changes behaviour "
+        "without changing the key, and workers see a different (pickled) "
+        "copy than the coordinator."
+    )
+    fix_hint = "use dataclasses.replace / SimConfig.with_ to derive a new config"
+
+    def _check_scoped(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            target: Tuple[ast.expr, ...] = ()
+            if isinstance(node, ast.Assign):
+                target = tuple(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target = (node.target,)
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func, ctx.imports)
+                if callee == "object.__setattr__" and node.args:
+                    root = self._attr_root(node.args[0])
+                    if root in _CONFIG_NAMES:
+                        yield ctx.finding(
+                            node,
+                            self,
+                            f"object.__setattr__ on config object `{root}`",
+                        )
+                continue
+            for tgt in target:
+                if isinstance(tgt, ast.Attribute):
+                    root = self._attr_root(tgt.value)
+                    if root in _CONFIG_NAMES:
+                        yield ctx.finding(
+                            node,
+                            self,
+                            f"assignment to `{root}.{tgt.attr}` mutates a "
+                            "shared config object",
+                        )
+
+    @staticmethod
+    def _attr_root(node: ast.expr) -> str:
+        """Leftmost name of an attribute chain (``cfg.uvm`` -> ``cfg``),
+        skipping a leading ``self.`` (``self.config.x`` -> ``config``)."""
+        parts: List[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+        chain = list(reversed(parts))
+        if len(chain) >= 2 and chain[0] == "self":
+            chain = chain[1:]
+        return chain[0] if chain else ""

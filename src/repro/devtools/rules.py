@@ -1,0 +1,240 @@
+"""Rule registry and the contexts rules run against.
+
+Two rule shapes:
+
+* :class:`FileRule` — checks one parsed file at a time (all determinism
+  rules, most parallel-safety rules).
+* :class:`ProjectRule` — checks the whole batch of parsed files at once,
+  for cross-module invariants (cache-key integrity needs the dataclasses in
+  ``repro.config`` *and* the fingerprint functions in
+  ``repro.harness.cache``; the mypy ratchet needs ``pyproject.toml``).
+
+Concrete rules subclass one of these and self-register with
+:func:`register`; :mod:`repro.devtools.checker` instantiates every
+registered rule per run.  Rule ids are ``REPRO<family><nn>``:
+``1xx`` determinism, ``2xx`` cache integrity, ``3xx`` parallel safety,
+``4xx`` strictness ratchet, ``9xx`` checker-internal (parse errors).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type, Union
+
+from .findings import Finding
+
+__all__ = [
+    "FileContext",
+    "ProjectContext",
+    "ImportMap",
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "RULES",
+    "register",
+    "get_rule",
+    "all_rules",
+    "dotted_name",
+    "module_directive",
+]
+
+#: ``# repro-lint: disable=REPRO101`` / ``disable=REPRO101,REPRO102`` /
+#: ``disable=all``.  Anything after the rule list (e.g. an em-dash and a
+#: justification) is ignored, so suppressions can carry their rationale.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,]+|all)", re.IGNORECASE
+)
+
+#: ``# repro-lint: module=repro.engine.fake`` — lets the lint corpus (and
+#: tests) classify a file outside ``src/`` as if it lived at that dotted
+#: path.  Only honoured within the first few lines of a file.
+_MODULE_RE = re.compile(r"#\s*repro-lint:\s*module=([\w.]+)")
+_MODULE_DIRECTIVE_WINDOW = 5
+
+
+class ImportMap:
+    """What each local name refers to, per the file's import statements.
+
+    Resolves ``np`` -> ``numpy``, ``from datetime import datetime`` ->
+    ``datetime.datetime``, etc., so rules can match fully-qualified call
+    targets regardless of aliasing.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self._names[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Fully-qualified target of a local name, or ``None`` if not imported."""
+        return self._names.get(name)
+
+
+def dotted_name(expr: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Fully-qualified dotted name of a Name/Attribute chain, or ``None``.
+
+    ``np.random.default_rng`` with ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``; a chain rooted at a non-imported local
+    name resolves to that raw chain (callers decide whether bare names are
+    meaningful — e.g. builtins).
+    """
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = imports.resolve(node.id) or node.id
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus its lint-relevant metadata."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap = field(init=False)
+    #: line number -> suppressed rule ids ("ALL" suppresses everything).
+    suppressions: Dict[int, Set[str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap(self.tree)
+        self.suppressions = _collect_suppressions(self.source)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        suppressed = self.suppressions.get(line, set())
+        return "ALL" in suppressed or rule.upper() in suppressed
+
+    def finding(
+        self,
+        node: Union[ast.AST, Tuple[int, int]],
+        rule: "Rule",
+        message: str,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a Finding anchored at ``node`` (or an explicit (line, col))."""
+        if isinstance(node, tuple):
+            line, col = node
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.display_path,
+            line=line,
+            column=col,
+            rule=rule.rule_id,
+            message=message,
+            fix_hint=rule.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+def _collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line -> suppressed rule ids.
+
+    A suppression comment covers its own line; a comment-only line also
+    covers the next line, so violations can be annotated either inline or
+    with a standalone comment above.
+    """
+    table: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        spec = match.group(1)
+        rules = (
+            {"ALL"}
+            if spec.lower() == "all"
+            else {r.strip().upper() for r in spec.split(",") if r.strip()}
+        )
+        table.setdefault(lineno, set()).update(rules)
+        if text.lstrip().startswith("#"):
+            table.setdefault(lineno + 1, set()).update(rules)
+    return table
+
+
+def module_directive(source: str) -> Optional[str]:
+    """The ``# repro-lint: module=...`` override, if present near the top."""
+    for text in source.splitlines()[:_MODULE_DIRECTIVE_WINDOW]:
+        match = _MODULE_RE.search(text)
+        if match:
+            return match.group(1)
+    return None
+
+
+@dataclass
+class ProjectContext:
+    """Everything a cross-module rule may consult."""
+
+    files: List[FileContext]
+    #: Nearest ancestor directory holding ``pyproject.toml``, when found.
+    root: Optional[Path] = None
+
+    def by_module(self, module: str) -> Optional[FileContext]:
+        for ctx in self.files:
+            if ctx.module == module:
+                return ctx
+        return None
+
+
+class Rule:
+    """Base: identity + catalogue metadata shared by both rule shapes."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    fix_hint: str = ""
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on each file."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over the whole batch of files."""
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (ids must be unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls
+    return cls
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    return RULES[rule_id]
+
+
+def all_rules() -> Iterable[Type[Rule]]:
+    """Registered rules in rule-id order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]

@@ -29,7 +29,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Union, cast
 
 from ..config import SimConfig
 
@@ -97,7 +97,7 @@ def serialize_result(result: "SimulationResult") -> bytes:
 
 
 def deserialize_result(blob: bytes) -> "SimulationResult":
-    return pickle.loads(blob)
+    return cast("SimulationResult", pickle.loads(blob))
 
 
 class ResultCache:
@@ -112,7 +112,7 @@ class ResultCache:
         self,
         root: Union[str, Path],
         schema_version: int = CACHE_SCHEMA_VERSION,
-    ):
+    ) -> None:
         self.root = Path(root)
         self.schema_version = schema_version
         self.hits = 0
@@ -190,7 +190,7 @@ class ResultCache:
 
     # --- maintenance ------------------------------------------------------
 
-    def _entry_paths(self):
+    def _entry_paths(self) -> Iterator[Path]:
         if not self.root.is_dir():
             return
         yield from sorted(self.root.glob("*/*.pkl"))
@@ -229,8 +229,8 @@ class ResultCache:
 
 # --- active cache (consulted by run_one by default) ------------------------
 
-_UNSET = object()
-_active: object = _UNSET  # _UNSET = not configured yet; None = disabled
+_active: Optional[ResultCache] = None
+_active_configured = False  # False = lazily construct on first use
 
 
 def default_cache_dir() -> Path:
@@ -253,15 +253,17 @@ def cache_enabled() -> bool:
 
 def get_active_cache() -> Optional[ResultCache]:
     """The process-wide cache ``run_one`` consults (lazily constructed)."""
-    global _active
-    if _active is _UNSET:
+    global _active, _active_configured
+    if not _active_configured:
         _active = ResultCache(default_cache_dir()) if cache_enabled() else None
-    return _active  # type: ignore[return-value]
+        _active_configured = True
+    return _active
 
 
 def set_active_cache(cache: Optional[ResultCache]) -> Optional[ResultCache]:
     """Install ``cache`` (or ``None`` to disable); returns the previous one."""
-    global _active
-    previous = None if _active is _UNSET else _active
+    global _active, _active_configured
+    previous = _active
     _active = cache
-    return previous  # type: ignore[return-value]
+    _active_configured = True
+    return previous

@@ -139,6 +139,8 @@ def generate(
     for name, gen in _GENERATORS:
         if names and name not in names:
             continue
+        # Harness-side wall clock: per-artifact timing for the stderr log
+        # only, never simulation state (boundary: devtools.boundary, REPRO102).
         start = time.time()
         log(f"running {name} ...")
         artifact = gen(scale, jobs)
@@ -170,6 +172,12 @@ def generate(
         "the README's *Parallel regeneration* section.  A warm cache\n"
         "regenerates everything with zero new simulations; clear it with\n"
         "`python -m repro cache clear` whenever simulator semantics change.\n\n"
+        "Integrity: cached results are only trustworthy because (a) every\n"
+        "simulation is deterministic in `(RunSpec, SimConfig)` and (b) the\n"
+        "cache key content-hashes every field of both.  Both invariants are\n"
+        "enforced statically by `python -m repro lint` (see LINTING.md) and\n"
+        "gated in CI, so the figures and tables below cannot silently come\n"
+        "back from a poisoned cache.\n\n"
         "## Summary\n\n"
         "| artifact | measured headline |\n|---|---|\n"
         + "\n".join(f"| {n} | {h} |" for n, h in summary_rows)

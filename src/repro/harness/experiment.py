@@ -107,7 +107,10 @@ def _execute(spec: RunSpec, config: Optional[SimConfig] = None) -> SimulationRes
     testing meaningful.
     """
     global _EXECUTIONS
-    _EXECUTIONS += 1
+    # Per-process diagnostic counter, read only via execution_count() in the
+    # owning process; workers never aggregate it, so serial/parallel parity
+    # is unaffected.
+    _EXECUTIONS += 1  # repro-lint: disable=REPRO301
     cfg = config or SimConfig()
     if spec.crash_budget_factor is not None:
         cfg = cfg.with_(

@@ -36,6 +36,9 @@ class InFlightMigration:
     faults: List[FarFault] = field(default_factory=list)
     start_time: int = 0
     finish_time: int = 0
+    #: Issue-order token assigned by the GMMU; stable across processes
+    #: (unlike ``id()``), so it can key bookkeeping tables.
+    token: int = -1
 
     def covers(self, vpn: int) -> bool:
         return vpn in self.pages

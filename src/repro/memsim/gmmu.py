@@ -74,7 +74,8 @@ class GMMU:
         self.rng = random.Random(config.seed ^ 0x5EED)
 
         self._pending: Deque[FarFault] = deque()
-        self._in_flight: Dict[int, InFlightMigration] = {}  # keyed by id(mig)
+        self._in_flight: Dict[int, InFlightMigration] = {}  # keyed by mig.token
+        self._next_migration_token = 0
         self._covered: Dict[int, InFlightMigration] = {}  # vpn -> migration
         self._active_services = 0
         self._reserved_frames = 0
@@ -245,12 +246,14 @@ class GMMU:
             chunk_id=fault.vpn // self.uvm.pages_per_chunk,
             pages=set(batch_pages),
             start_time=time,
+            token=self._next_migration_token,
         )
+        self._next_migration_token += 1
         for f in batch_faults:
             mig.attach(f)
         for vpn in batch_pages:
             self._covered[vpn] = mig
-        self._in_flight[id(mig)] = mig
+        self._in_flight[mig.token] = mig
         self._active_services += 1
 
         transfer = self.pcie.transfer_to_device(len(batch_pages))
@@ -388,7 +391,7 @@ class GMMU:
         self.stats.pages_migrated += migrated
         self._advance_intervals(migrated, time)
 
-        del self._in_flight[id(mig)]
+        del self._in_flight[mig.token]
         self._active_services -= 1
         for fault in mig.faults:
             fault.on_resolve(time)

@@ -1,0 +1,25 @@
+# expect: REPRO201
+# repro-lint: module=repro.config
+"""A fingerprint that enumerates fields explicitly and misses one.
+
+``burst_length`` was added to the config but never reaches the hash, so two
+configs differing only in it share a cache key — the exact failure mode the
+runtime twin in tests/test_cache_key_integrity.py guards against.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    seed: int = 0
+    num_sms: int = 28
+    burst_length: int = 64  # added later, never hashed
+
+
+def corpus_config_fingerprint(config: CorpusConfig) -> str:
+    payload = {"seed": config.seed, "num_sms": config.num_sms}
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,11 @@
+# expect: REPRO202
+# repro-lint: module=repro.config
+"""Mutable default on a hashed config dataclass."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class CorpusTuning:
+    thresholds: List[int] = field(default_factory=list)

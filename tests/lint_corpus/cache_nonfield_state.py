@@ -1,0 +1,13 @@
+# expect: REPRO203
+# repro-lint: module=repro.config
+"""State on a hashed dataclass that dataclasses.asdict() cannot see."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusKnobs:
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "derived_budget", self.seed * 2)

@@ -1,0 +1,9 @@
+# expect: REPRO102
+# repro-lint: module=repro.memsim.corpus_datetime
+"""datetime.now() via a from-import, inside simulation code."""
+
+from datetime import datetime
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()

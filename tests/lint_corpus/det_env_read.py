@@ -1,0 +1,9 @@
+# expect: REPRO103
+# repro-lint: module=repro.policies.corpus_env
+"""Config knob read from the environment, bypassing SimConfig."""
+
+import os
+
+
+def threshold() -> int:
+    return int(os.environ.get("REPRO_T1", "32"))

@@ -1,0 +1,7 @@
+# expect: REPRO105
+# repro-lint: module=repro.memsim.corpus_idkey
+"""id()-derived bookkeeping key: unique per process, different every run."""
+
+
+def track(table, mig) -> None:
+    table[id(mig)] = mig

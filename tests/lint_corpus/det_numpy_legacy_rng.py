@@ -1,0 +1,9 @@
+# expect: REPRO101
+# repro-lint: module=repro.workloads.corpus_nprandom
+"""Legacy numpy global-state RNG instead of a seeded Generator."""
+
+import numpy as np
+
+
+def noise(n: int):
+    return np.random.rand(n)

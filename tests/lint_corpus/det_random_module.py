@@ -1,0 +1,9 @@
+# expect: REPRO101
+# repro-lint: module=repro.engine.corpus_random
+"""Module-level RNG in simulation code: draws from process-global state."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,8 @@
+# expect: REPRO104
+# repro-lint: module=repro.prefetch.corpus_set
+"""Iteration order of a set reaching simulation flow."""
+
+
+def drain(pending):
+    for vpn in set(pending):
+        yield vpn

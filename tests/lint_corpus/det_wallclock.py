@@ -1,0 +1,9 @@
+# expect: REPRO102
+# repro-lint: module=repro.engine.corpus_clock
+"""Wall-clock read inside simulation code."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+# expect: REPRO303
+# repro-lint: module=repro.engine.corpus_cfgmut
+"""Mutating a shared config object instead of deriving a new one."""
+
+
+def tune(config, factor: float) -> None:
+    config.write_fraction = factor

@@ -1,0 +1,11 @@
+# expect: REPRO301
+# repro-lint: module=repro.engine.corpus_globals
+"""Module-global mutation in worker-reachable code."""
+
+_CALLS = 0
+
+
+def record() -> int:
+    global _CALLS
+    _CALLS += 1
+    return _CALLS

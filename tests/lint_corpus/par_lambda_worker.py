@@ -1,0 +1,10 @@
+# expect: REPRO302
+# repro-lint: module=repro.harness.parallel
+"""Lambda submitted as a pool worker: unpicklable, parallel-path-only crash."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(specs):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(lambda s: s, spec) for spec in specs]

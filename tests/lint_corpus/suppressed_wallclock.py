@@ -1,0 +1,10 @@
+# expect:
+# repro-lint: module=repro.engine.corpus_suppressed
+"""A violation silenced by a suppression comment — must lint clean."""
+
+import time
+
+
+def stamp() -> float:
+    # repro-lint: disable=REPRO102 — corpus demo of a justified suppression
+    return time.time()

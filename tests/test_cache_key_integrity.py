@@ -1,0 +1,125 @@
+"""Runtime twin of the static cache-integrity rule (REPRO201).
+
+The static rule proves that fingerprint functions *structurally* cover every
+hashed field; these tests prove the same property dynamically: injecting a
+field into ``SimConfig`` (or changing any existing field) must change the
+cache key, or the persistent cache would serve results from the wrong
+configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness.cache import config_fingerprint, spec_fingerprint
+from repro.harness.experiment import RunSpec
+
+SPEC = RunSpec("SRD", "cppe", 0.5)
+
+
+def _perturb(obj):
+    """A copy of a (possibly nested) config dataclass with one leaf changed,
+    trying leaves until one passes the config's own validation."""
+    for leaf in dataclasses.fields(obj):
+        value = getattr(obj, leaf.name)
+        candidates = []
+        if isinstance(value, bool):
+            candidates = [not value]
+        elif isinstance(value, (int, float)):
+            candidates = [value + 1]
+        elif value is None:
+            candidates = [1.5]
+        elif dataclasses.is_dataclass(value):
+            try:
+                candidates = [_perturb(value)]
+            except ValueError:
+                candidates = []
+        for new_value in candidates:
+            try:
+                return replace(obj, **{leaf.name: new_value})
+            except Exception:
+                continue  # violates the dataclass's validation; next leaf
+    raise ValueError(f"could not perturb any field of {type(obj).__name__}")
+
+
+@dataclasses.dataclass(frozen=True)
+class _ExtendedSimConfig(SimConfig):
+    """SimConfig with one extra injected field (simulates a future PR that
+    adds a knob): the content hash must pick it up automatically."""
+
+    injected_knob: int = 0
+
+
+class TestInjectedField:
+    def test_injected_field_changes_config_fingerprint(self):
+        base = SimConfig()
+        extended = _ExtendedSimConfig()
+        assert config_fingerprint(base) != config_fingerprint(extended)
+
+    def test_injected_field_value_changes_cache_key(self):
+        a = _ExtendedSimConfig(injected_knob=0)
+        b = _ExtendedSimConfig(injected_knob=1)
+        assert spec_fingerprint(SPEC, a) != spec_fingerprint(SPEC, b)
+
+    def test_equal_extended_configs_share_a_key(self):
+        a = _ExtendedSimConfig(injected_knob=3)
+        b = _ExtendedSimConfig(injected_knob=3)
+        assert spec_fingerprint(SPEC, a) == spec_fingerprint(SPEC, b)
+
+
+class TestEveryFieldReachesTheHash:
+    @pytest.mark.parametrize(
+        "field_name", [f.name for f in dataclasses.fields(SimConfig)]
+    )
+    def test_top_level_field_perturbs_fingerprint(self, field_name):
+        base = SimConfig()
+        value = getattr(base, field_name)
+        if field_name == "seed":
+            changed = replace(base, seed=base.seed + 1)
+        elif dataclasses.is_dataclass(value):
+            changed = replace(base, **{field_name: _perturb(value)})
+        else:  # pragma: no cover - no such field today
+            pytest.skip(f"unhandled field type for {field_name}")
+        assert config_fingerprint(base) != config_fingerprint(changed)
+
+    @pytest.mark.parametrize(
+        "field_name", [f.name for f in dataclasses.fields(RunSpec)]
+    )
+    def test_every_runspec_field_perturbs_cache_key(self, field_name):
+        value = getattr(SPEC, field_name)
+        if isinstance(value, str):
+            changed = replace(SPEC, **{field_name: value + "x"})
+        elif isinstance(value, (int, float)):
+            changed = replace(SPEC, **{field_name: value + 1})
+        elif value is None:
+            changed = replace(SPEC, **{field_name: 1.5})
+        else:  # pragma: no cover - no such field today
+            pytest.skip(f"unhandled field type for {field_name}")
+        assert spec_fingerprint(SPEC) != spec_fingerprint(changed)
+
+    def test_asdict_sees_every_declared_field(self):
+        # The structural property REPRO201 relies on: whole-object hashing
+        # via dataclasses.asdict() covers exactly the declared field set.
+        payload = dataclasses.asdict(SimConfig())
+        assert set(payload) == {f.name for f in dataclasses.fields(SimConfig)}
+
+    def test_nested_uvm_field_reaches_the_hash(self):
+        base = SimConfig()
+        changed = base.with_(uvm=replace(base.uvm, write_fraction=0.7))
+        assert spec_fingerprint(SPEC, base) != spec_fingerprint(SPEC, changed)
+
+    def test_none_config_equals_default_config(self):
+        assert config_fingerprint(None) == config_fingerprint(SimConfig())
+        assert spec_fingerprint(SPEC, None) == spec_fingerprint(SPEC, SimConfig())
+
+
+class TestTypedPackaging:
+    def test_py_typed_marker_ships_with_the_package(self):
+        import repro
+
+        assert (Path(repro.__file__).parent / "py.typed").is_file()

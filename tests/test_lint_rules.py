@@ -1,0 +1,264 @@
+"""The `repro lint` AST checker (repro.devtools)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (
+    HARNESS_PACKAGES,
+    PARALLEL_SCOPE,
+    SIMULATION_PACKAGES,
+    all_rules,
+    is_parallel_scope,
+    is_simulation_module,
+    run_lint,
+)
+from repro.devtools.checker import PARSE_ERROR_RULE, module_name_for
+from repro.devtools.ratchet import MYPY_ALLOWLIST_BASELINE, STRICT_REQUIRED
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = REPO / "tests" / "lint_corpus"
+
+
+def expected_rules(path: Path) -> set:
+    """Parse the `# expect: RULE[,RULE]` header of a corpus file."""
+    for line in path.read_text().splitlines()[:3]:
+        if line.startswith("# expect:"):
+            spec = line.split(":", 1)[1].strip()
+            return {r.strip() for r in spec.split(",") if r.strip()}
+    raise AssertionError(f"{path} has no '# expect:' header")
+
+
+class TestRepoIsClean:
+    def test_src_lints_clean(self):
+        report = run_lint([REPO / "src"])
+        assert report.files_checked > 50
+        assert [f.render() for f in report.findings] == []
+
+
+class TestCorpus:
+    """Each known-bad snippet triggers exactly its intended rule."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS.glob("*.py")), ids=lambda p: p.stem
+    )
+    def test_snippet_triggers_exactly_expected_rules(self, path):
+        report = run_lint([path])
+        triggered = {f.rule for f in report.findings}
+        assert triggered == expected_rules(path)
+
+    def test_corpus_covers_every_rule_family(self):
+        covered = set()
+        for path in CORPUS.glob("*.py"):
+            covered.update(expected_rules(path))
+        assert {r[: len("REPRO1")] for r in covered} >= {
+            "REPRO1", "REPRO2", "REPRO3"
+        }
+
+
+class TestBoundary:
+    """The harness-vs-simulation boundary is explicit, not accidental."""
+
+    def test_packages_disjoint(self):
+        assert not SIMULATION_PACKAGES & HARNESS_PACKAGES
+
+    def test_cli_and_docgen_are_harness_side(self):
+        # The audited wall-clock sites: timing display only.
+        assert not is_simulation_module("repro.cli")
+        assert not is_simulation_module("repro.harness.docgen")
+        assert is_simulation_module("repro.engine.simulator")
+
+    def test_worker_reachable_scope(self):
+        assert is_parallel_scope("repro.harness.experiment")
+        assert is_parallel_scope("repro.engine.sm")
+        assert not is_parallel_scope("repro.harness.docgen")
+        assert PARALLEL_SCOPE >= SIMULATION_PACKAGES
+
+    def test_same_snippet_flagged_only_in_simulation_code(self, tmp_path):
+        body = "import time\n\ndef f():\n    return time.time()\n"
+        sim = tmp_path / "sim.py"
+        sim.write_text("# repro-lint: module=repro.engine.x\n" + body)
+        harness = tmp_path / "harness.py"
+        harness.write_text("# repro-lint: module=repro.cli\n" + body)
+        assert {f.rule for f in run_lint([sim]).findings} == {"REPRO102"}
+        assert run_lint([harness]).findings == []
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self, tmp_path):
+        path = tmp_path / "s.py"
+        path.write_text(
+            "# repro-lint: module=repro.engine.x\n"
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=REPRO102\n"
+        )
+        assert run_lint([path]).findings == []
+
+    def test_preceding_line_suppression(self, tmp_path):
+        path = tmp_path / "s.py"
+        path.write_text(
+            "# repro-lint: module=repro.engine.x\n"
+            "import time\n"
+            "# repro-lint: disable=REPRO102 — justified elsewhere\n"
+            "t = time.time()\n"
+        )
+        assert run_lint([path]).findings == []
+
+    def test_disable_all(self, tmp_path):
+        path = tmp_path / "s.py"
+        path.write_text(
+            "# repro-lint: module=repro.engine.x\n"
+            "import time, random\n"
+            "t = time.time() + random.random()  # repro-lint: disable=all\n"
+        )
+        assert run_lint([path]).findings == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        path = tmp_path / "s.py"
+        path.write_text(
+            "# repro-lint: module=repro.engine.x\n"
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=REPRO101\n"
+        )
+        assert {f.rule for f in run_lint([path]).findings} == {"REPRO102"}
+
+
+class TestCacheIntegrityRule:
+    """REPRO201 statically catches a field escaping the cache key."""
+
+    def test_injected_field_without_hash_update_is_flagged(self, tmp_path):
+        path = tmp_path / "cfg.py"
+        path.write_text(
+            "# repro-lint: module=repro.config\n"
+            "import hashlib, json\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Cfg:\n"
+            "    seed: int = 0\n"
+            "    new_knob: int = 1\n"
+            "def cfg_fingerprint(cfg: Cfg) -> str:\n"
+            "    blob = json.dumps({'seed': cfg.seed})\n"
+            "    return hashlib.sha256(blob.encode()).hexdigest()\n"
+        )
+        findings = run_lint([path]).findings
+        assert [f.rule for f in findings] == ["REPRO201"]
+        assert "new_knob" in findings[0].message
+
+    def test_asdict_hashing_covers_all_fields(self, tmp_path):
+        path = tmp_path / "cfg.py"
+        path.write_text(
+            "# repro-lint: module=repro.config\n"
+            "import dataclasses, hashlib, json\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Cfg:\n"
+            "    seed: int = 0\n"
+            "    new_knob: int = 1\n"
+            "def cfg_fingerprint(cfg: Cfg) -> str:\n"
+            "    blob = json.dumps(dataclasses.asdict(cfg), sort_keys=True)\n"
+            "    return hashlib.sha256(blob.encode()).hexdigest()\n"
+        )
+        assert run_lint([path]).findings == []
+
+
+class TestDeterminismRules:
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        path = tmp_path / "ok.py"
+        path.write_text(
+            "# repro-lint: module=repro.policies.x\n"
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "v = rng.random()\n"
+        )
+        assert run_lint([path]).findings == []
+
+    def test_seeded_numpy_generator_allowed(self, tmp_path):
+        path = tmp_path / "ok.py"
+        path.write_text(
+            "# repro-lint: module=repro.workloads.x\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+        )
+        assert run_lint([path]).findings == []
+
+    def test_sorted_set_iteration_allowed(self, tmp_path):
+        path = tmp_path / "ok.py"
+        path.write_text(
+            "# repro-lint: module=repro.engine.x\n"
+            "def f(pending):\n"
+            "    for vpn in sorted(set(pending)):\n"
+            "        yield vpn\n"
+        )
+        assert run_lint([path]).findings == []
+
+
+class TestRatchetRule:
+    def test_real_pyproject_allowlist_matches_baseline(self):
+        # The pyproject allowlist and the frozen baseline move together;
+        # REPRO401 already ran as part of TestRepoIsClean, this pins the
+        # strict graduates explicitly.
+        assert "repro.config" in STRICT_REQUIRED
+        assert "repro.harness.cache" in STRICT_REQUIRED
+        assert not STRICT_REQUIRED & MYPY_ALLOWLIST_BASELINE
+
+    def test_grown_allowlist_is_flagged(self, tmp_path):
+        pytest.importorskip("tomllib")  # ratchet rule is a no-op on py<3.11
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.mypy]\nstrict = true\n"
+            "[[tool.mypy.overrides]]\n"
+            'module = ["repro.shiny_new_thing"]\n'
+            "ignore_errors = true\n"
+        )
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        findings = run_lint([tmp_path / "mod.py"]).findings
+        assert [f.rule for f in findings] == ["REPRO401"]
+        assert "repro.shiny_new_thing" in findings[0].message
+
+    def test_reintroducing_strict_module_is_flagged(self, tmp_path):
+        pytest.importorskip("tomllib")  # ratchet rule is a no-op on py<3.11
+        (tmp_path / "pyproject.toml").write_text(
+            "[[tool.mypy.overrides]]\n"
+            'module = ["repro.harness.cache"]\n'
+            "ignore_errors = true\n"
+        )
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        findings = run_lint([tmp_path / "mod.py"]).findings
+        assert [f.rule for f in findings] == ["REPRO401"]
+
+
+class TestCheckerPlumbing:
+    def test_module_name_resolution(self):
+        assert module_name_for(Path("src/repro/engine/sm.py")) == "repro.engine.sm"
+        assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+        assert (
+            module_name_for(Path("/root/repo/src/repro/harness/cache.py"))
+            == "repro.harness.cache"
+        )
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = run_lint([bad]).findings
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+
+    def test_rule_catalogue_metadata_complete(self):
+        ids = set()
+        for cls in all_rules():
+            assert cls.rule_id and cls.title and cls.rationale and cls.fix_hint
+            assert cls.rule_id.startswith("REPRO")
+            ids.add(cls.rule_id)
+        assert len(ids) >= 10
+
+    def test_findings_sorted_and_located(self, tmp_path):
+        path = tmp_path / "two.py"
+        path.write_text(
+            "# repro-lint: module=repro.engine.x\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        findings = run_lint([path]).findings
+        assert [f.line for f in findings] == [3, 4]
+        assert all(f.column >= 1 for f in findings)
