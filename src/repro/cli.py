@@ -112,11 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--setup", default="cppe", choices=sorted(SETUPS))
     suite_p.add_argument("--scale", type=float, default=1.0)
 
-    trace_p = sub.add_parser("trace", help="profile or export an app's trace")
+    trace_p = sub.add_parser(
+        "trace",
+        help="profile/export an app's trace, or record a traced simulation",
+    )
     trace_p.add_argument("app")
     trace_p.add_argument("--scale", type=float, default=1.0)
     trace_p.add_argument("--save", metavar="PATH", default=None,
                          help="write the trace as .npz instead of profiling")
+    trace_p.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="run a traced simulation and write the trace artifacts here "
+             "(bypasses the result cache)",
+    )
+    trace_p.add_argument(
+        "--format", default="all", choices=("jsonl", "chrome", "intervals", "all"),
+        help="which trace artifacts to write under --trace-dir (default: all)",
+    )
+    trace_p.add_argument("--setup", default="cppe", choices=sorted(SETUPS),
+                         help="policy+prefetcher pair for the traced run")
+    trace_p.add_argument("--rate", type=float, default=0.5,
+                         help="oversubscription rate for the traced run")
+    trace_p.add_argument("--seed", type=int, default=None)
 
     sweep_p = sub.add_parser("sweep", help="capacity sweep for one app")
     sweep_p.add_argument("app")
@@ -270,6 +287,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .workloads.suite import make_workload
     from .workloads.trace_io import profile_trace, save_trace
 
+    if args.trace_dir:
+        return _traced_run(args)
     workload = make_workload(args.app, scale=args.scale)
     if args.save:
         path = save_trace(workload, args.save)
@@ -280,6 +299,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(render_table(["property", "value"], rows,
                        title=f"trace profile: {args.app}"))
     print(f"working set per quarter: {profile.quarter_working_sets}")
+    return 0
+
+
+def _traced_run(args: argparse.Namespace) -> int:
+    """Run one simulation with the observability layer on and export the
+    trace under ``--trace-dir`` in the requested format(s)."""
+    from .config import SimConfig
+    from .obs import (
+        INTERVAL_COLUMNS,
+        Observability,
+        interval_rows,
+        write_chrome_trace,
+        write_intervals,
+        write_jsonl,
+    )
+
+    rate = None if args.rate >= 1.0 else args.rate
+    spec = RunSpec(args.app, args.setup, rate, scale=args.scale,
+                   seed=args.seed)
+    obs = Observability.enabled_()
+    result = run_one(spec, obs=obs)
+
+    out_dir = Path(args.trace_dir)
+    events = obs.tracer.events
+    clock_hz = SimConfig().uvm.clock_hz
+    written = []
+    if args.format in ("jsonl", "all"):
+        written.append(write_jsonl(events, out_dir / "trace.jsonl"))
+    if args.format in ("chrome", "all"):
+        written.append(
+            write_chrome_trace(events, out_dir / "trace.chrome.json",
+                               clock_hz=clock_hz)
+        )
+    if args.format in ("intervals", "all"):
+        written.append(write_intervals(events, out_dir / "intervals.tsv"))
+
+    rows = [
+        [row[c] for c in INTERVAL_COLUMNS if c != "run"]
+        for row in interval_rows(events)
+    ]
+    if rows:
+        print(render_table(
+            [c for c in INTERVAL_COLUMNS if c != "run"], rows,
+            title=f"intervals: {result.label()}",
+        ))
+    counts = obs.tracer.kind_counts()
+    print(render_table(
+        ["event kind", "count"], sorted(counts.items()),
+        title=f"{len(events)} trace events"
+        + (" (crashed run)" if result.crashed else ""),
+    ))
+    for path in written:
+        print(f"wrote {path}")
     return 0
 
 

@@ -44,6 +44,10 @@ SIMULATION_PACKAGES: FrozenSet[str] = frozenset(
         "repro.core",
         "repro.translation",
         "repro.workloads",
+        # Observability runs *inside* the simulation (components emit trace
+        # events and metrics from hot paths), so it is held to the same
+        # determinism bar: sim-time stamps only, no wall clock, no env.
+        "repro.obs",
     }
 )
 

@@ -22,6 +22,7 @@ from ..config import SimConfig
 from ..errors import SimulationError, ThrashingCrash
 from ..memsim.gmmu import GMMU
 from ..memsim.page_table import PageTable
+from ..obs import DISABLED, Observability
 from ..policies.base import EvictionPolicy
 from ..policies.lru import LRUPolicy
 from ..prefetch.base import Prefetcher
@@ -30,7 +31,7 @@ from ..translation.hierarchy import TranslationHierarchy
 from ..workloads.base import Workload
 from .events import EventQueue
 from .sm import StreamingMultiprocessor
-from .stats import SimStats
+from .stats import SimStats, publish_summary
 
 __all__ = ["Simulator", "SimulationResult"]
 
@@ -89,9 +90,11 @@ class Simulator:
         config: Optional[SimConfig] = None,
         capacity_pages: Optional[int] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
+        obs: Optional[Observability] = None,
     ):
         self.workload = workload
         self.config = config or SimConfig()
+        self.obs = obs or DISABLED
         self.policy = policy if policy is not None else LRUPolicy()
         self.prefetcher = (
             prefetcher if prefetcher is not None else LocalityPrefetcher()
@@ -121,6 +124,7 @@ class Simulator:
             prefetcher=self.prefetcher,
             translation=self.translation,
             footprint_pages=workload.footprint_pages,
+            obs=self.obs,
         )
         if self.translation is None:
             # GMMU built its own page table; keep a single source of truth.
@@ -165,6 +169,15 @@ class Simulator:
             footprint_pages=self.workload.footprint_pages,
             stats=self.stats,
         )
+        trace = self.obs.tracer
+        if trace.enabled:
+            trace.emit(
+                "run_start", 0, label=result.label(),
+                workload=self.workload.name, policy=self.policy.name,
+                prefetcher=self.prefetcher.name,
+                capacity_pages=self.capacity,
+                footprint_pages=self.workload.footprint_pages,
+            )
         for sm in self.sms:
             sm.start(0)
         try:
@@ -173,6 +186,12 @@ class Simulator:
             result.crashed = True
             result.crash_reason = str(crash)
             self.stats.total_cycles = self.events.now
+            if trace.enabled:
+                trace.emit(
+                    "run_end", self.events.now, label=result.label(),
+                    crashed=True, reason=result.crash_reason,
+                )
+            publish_summary(self.stats, self.obs.metrics)
             return result
 
         if any(not sm.done for sm in self.sms):
@@ -187,4 +206,11 @@ class Simulator:
         if self.translation is not None:
             self.translation.sync_counter_stats()
         self.stats.final_strategy = self.policy.current_strategy
+        if trace.enabled:
+            trace.emit(
+                "run_end", self.stats.total_cycles, label=result.label(),
+                crashed=False, total_cycles=self.stats.total_cycles,
+                far_faults=self.stats.far_faults,
+            )
+        publish_summary(self.stats, self.obs.metrics)
         return result

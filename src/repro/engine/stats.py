@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["IntervalRecord", "SimStats"]
+__all__ = ["IntervalRecord", "SimStats", "publish_summary"]
 
 
 @dataclass
@@ -147,3 +147,36 @@ class SimStats:
             "bytes_device_to_host": self.bytes_device_to_host,
             "final_strategy": self.final_strategy,
         }
+
+    def interval_rows(self) -> List[Dict[str, object]]:
+        """The interval telemetry as flat dicts (reporting convenience;
+        intentionally a method, not a field — the pickle byte layout of
+        cached results must not change)."""
+        return [
+            {
+                "index": r.index,
+                "end_time": r.end_time,
+                "strategy": r.strategy,
+                "forward_distance": r.forward_distance,
+                "untouch_level": r.untouch_total,
+                "wrong_evictions": r.wrong_evictions,
+                "faults": r.faults,
+                "chunks_evicted": r.chunks_evicted,
+            }
+            for r in self.intervals
+        ]
+
+
+def publish_summary(stats: "SimStats", metrics: object) -> None:
+    """Mirror the headline stats into a metrics registry as gauges.
+
+    ``metrics`` is a :class:`repro.obs.MetricsRegistry` (typed as object to
+    keep this module free of an obs import cycle); no-op under the disabled
+    registry.
+    """
+    gauge = getattr(metrics, "gauge", None)
+    if gauge is None:  # pragma: no cover - defensive
+        return
+    for key, value in stats.summary().items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            gauge(f"stats.{key}").set(value)

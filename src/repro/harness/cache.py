@@ -53,7 +53,9 @@ __all__ = [
 #: Bump whenever simulator semantics change in a way that alters results —
 #: all previously cached entries become unreachable (their keys embed the
 #: old version) and are rewritten on the next regeneration.
-CACHE_SCHEMA_VERSION = 1
+#: v2: MHPE forward-distance clamp at T3 and pattern-buffer FIFO
+#: re-record fix changed eviction/prefetch behaviour.
+CACHE_SCHEMA_VERSION = 2
 
 #: Pickle protocol pinned so "byte-identical serialization" is well-defined
 #: across interpreter minor versions.

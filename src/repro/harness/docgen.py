@@ -178,6 +178,23 @@ def generate(
         "enforced statically by `python -m repro lint` (see LINTING.md) and\n"
         "gated in CI, so the figures and tables below cannot silently come\n"
         "back from a poisoned cache.\n\n"
+        "## Inspecting a run\n\n"
+        "Any point in these artifacts can be re-run with full observability\n"
+        "(`repro.obs`: an event trace plus a metrics registry, both off and\n"
+        "zero-cost during normal regeneration):\n\n"
+        "```\n"
+        "python -m repro trace NW --trace-dir out --format all\n"
+        "```\n\n"
+        "writes `out/trace.jsonl` (one event per line), `out/trace.chrome.json`\n"
+        "(open in chrome://tracing or https://ui.perfetto.dev — per-run\n"
+        "processes with gmmu/policy/prefetch/pcie lanes, migration slices,\n"
+        "forward-distance and untouch-level counter tracks) and\n"
+        "`out/intervals.tsv` (per-interval timeseries: strategy, forward\n"
+        "distance, untouch level, wrong evictions, pattern-buffer occupancy,\n"
+        "PCIe bytes).  Traced runs bypass the result cache in both\n"
+        "directions, and tracing never changes simulation results —\n"
+        "`tests/test_obs_integration.py` asserts byte-identical\n"
+        "serializations.\n\n"
         "## Summary\n\n"
         "| artifact | measured headline |\n|---|---|\n"
         + "\n".join(f"| {n} | {h} |" for n, h in summary_rows)

@@ -19,10 +19,11 @@ deterministic, parallel and serial execution produce identical results
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..config import SimConfig
 from ..engine.simulator import SimulationResult, Simulator
+from ..obs import Observability, ObsConfig, TraceEvent, make_observability
 from ..workloads.suite import make_workload
 from .baselines import build_setup
 from .cache import ResultCache, config_fingerprint, get_active_cache
@@ -99,7 +100,11 @@ def _memo_key(spec: RunSpec, config: Optional[SimConfig]) -> Tuple:
     return (spec.key(), config_fingerprint(config))
 
 
-def _execute(spec: RunSpec, config: Optional[SimConfig] = None) -> SimulationResult:
+def _execute(
+    spec: RunSpec,
+    config: Optional[SimConfig] = None,
+    obs: Optional[Observability] = None,
+) -> SimulationResult:
     """Actually simulate ``spec`` (no caching).
 
     This is the single execution path shared by the serial runner and the
@@ -126,7 +131,37 @@ def _execute(spec: RunSpec, config: Optional[SimConfig] = None) -> SimulationRes
         prefetcher=prefetcher,
         oversubscription=spec.oversubscription,
         config=cfg,
+        obs=obs,
     ).run()
+
+
+def _spec_label(spec: RunSpec) -> str:
+    """Deterministic run label used to tag merged trace events."""
+    rate = (
+        "unl"
+        if spec.oversubscription is None
+        else f"{spec.oversubscription:.0%}"
+    )
+    label = f"{spec.app}@{rate}/{spec.setup}"
+    if spec.scale != 1.0:
+        label += f"/x{spec.scale:g}"
+    if spec.seed is not None:
+        label += f"/s{spec.seed}"
+    return label
+
+
+def _execute_traced(
+    spec: RunSpec,
+    config: Optional[SimConfig],
+    obs_config: ObsConfig,
+) -> Tuple[SimulationResult, List[TraceEvent], Dict[str, Dict[str, object]]]:
+    """Traced execution entry point (top-level, picklable: this exact
+    function is submitted to process pools *and* called on the serial path,
+    so merged traces are identical either way).  Returns the result plus the
+    run's raw events and metrics snapshot for the parent to absorb."""
+    obs = make_observability(obs_config)
+    result = _execute(spec, config, obs=obs)
+    return result, obs.tracer.events, obs.metrics.snapshot()
 
 
 def run_one(
@@ -134,13 +169,24 @@ def run_one(
     config: Optional[SimConfig] = None,
     use_cache: bool = True,
     cache=_ACTIVE,
+    obs: Optional[Observability] = None,
 ) -> SimulationResult:
     """Run (or fetch from a cache layer) a single simulation.
 
     Lookup order: in-process memo, then the disk ``cache`` (the active one
     by default; pass ``None`` to skip disk).  ``use_cache=False`` bypasses
     and updates neither layer.
+
+    Passing an enabled ``obs`` forces a live simulation (both cache layers
+    are bypassed and left untouched: a cached result has no trace, and a
+    traced run must not overwrite cache entries produced untraced); the
+    run's events and metrics are absorbed into ``obs`` under the spec's
+    label.
     """
+    if obs is not None and obs.enabled:
+        result, events, snapshot = _execute_traced(spec, config, obs.config())
+        obs.absorb(_spec_label(spec), events, snapshot)
+        return result
     if not use_cache:
         return _execute(spec, config)
     memo_key = _memo_key(spec, config)
@@ -174,25 +220,28 @@ def run_matrix(
     jobs: Optional[int] = None,
     cache=_ACTIVE,
     progress: Optional[Callable[[int, int], None]] = None,
+    obs: Optional[Observability] = None,
 ) -> Dict[Tuple, SimulationResult]:
     """Run a batch of specs; returns ``{spec.key(): result}``.
 
     ``jobs > 1`` fans the batch out over a process pool (falling back to
     serial execution if no pool can be started); ``jobs`` of ``None``/``1``
     runs serially in-process.  ``progress(done, total)`` is invoked after
-    each completed spec.
+    each completed spec.  An enabled ``obs`` traces every run (cache layers
+    bypassed); worker traces merge into ``obs`` in input-spec order, so the
+    merged trace is identical however the batch was scheduled.
     """
     specs = list(specs)
     if jobs is not None and jobs > 1:
         from .parallel import ParallelRunner  # deferred: avoids import cycle
 
         runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
-        results = runner.run(specs, config=config, use_cache=use_cache)
+        results = runner.run(specs, config=config, use_cache=use_cache, obs=obs)
         return {spec.key(): r for spec, r in zip(specs, results)}
     out: Dict[Tuple, SimulationResult] = {}
     for i, spec in enumerate(specs):
         out[spec.key()] = run_one(
-            spec, config=config, use_cache=use_cache, cache=cache
+            spec, config=config, use_cache=use_cache, cache=cache, obs=obs
         )
         if progress is not None:
             progress(i + 1, len(specs))

@@ -31,9 +31,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import SimConfig
 from ..engine.simulator import SimulationResult
+from ..obs import Observability, ObsConfig
 from . import experiment
 from .cache import ResultCache
-from .experiment import RunSpec, _execute, _memo_key, _resolve_cache
+from .experiment import (
+    RunSpec,
+    _execute,
+    _execute_traced,
+    _memo_key,
+    _resolve_cache,
+    _spec_label,
+)
 
 __all__ = ["ParallelRunner", "default_jobs", "stderr_progress"]
 
@@ -111,18 +119,31 @@ class ParallelRunner:
         specs: Sequence[RunSpec],
         config: Optional[SimConfig] = None,
         use_cache: bool = True,
+        obs: Optional[Observability] = None,
     ) -> List[SimulationResult]:
         """Resolve every spec; returns results aligned with ``specs``.
 
         Duplicate specs are simulated once.  With ``use_cache=False`` both
         cache layers are bypassed (every distinct spec simulates).
+
+        An enabled ``obs`` traces every distinct spec: caching is forced off
+        (cached results have no trace; traced results must not pollute the
+        cache), workers return their event lists and metrics snapshots, and
+        the parent absorbs them in *input-spec order* once every run has
+        finished — the merged trace never depends on pool scheduling.
         """
+        obs_config: Optional[ObsConfig] = None
+        if obs is not None and obs.enabled:
+            obs_config = obs.config()
+            use_cache = False
+        traced = obs_config is not None
         specs = list(specs)
         total = len(specs)
         done = 0
         resolved: Dict[Tuple, SimulationResult] = {}
         pending: List[Tuple] = []  # distinct memo keys needing simulation
         pending_specs: Dict[Tuple, RunSpec] = {}
+        traced_payloads: Dict[Tuple, Tuple[list, dict]] = {}
         disk = self.cache if use_cache else None
 
         for spec in specs:
@@ -147,9 +168,14 @@ class ParallelRunner:
             pending.append(key)
             pending_specs[key] = spec
 
-        def finish(key: Tuple, result: SimulationResult) -> None:
+        def finish(key: Tuple, payload) -> None:
             nonlocal done
             spec = pending_specs[key]
+            if traced:
+                result, events, snapshot = payload
+                traced_payloads[key] = (events, snapshot)
+            else:
+                result = payload
             resolved[key] = result
             self.simulated += 1
             if disk is not None:
@@ -162,9 +188,24 @@ class ParallelRunner:
         if pending:
             remaining = list(pending)
             if self.jobs > 1:
-                remaining = self._run_pool(remaining, pending_specs, config, finish)
+                remaining = self._run_pool(
+                    remaining, pending_specs, config, finish, obs_config
+                )
             for key in remaining:  # serial path / fallback
-                finish(key, _execute(pending_specs[key], config))
+                if obs_config is not None:
+                    finish(
+                        key,
+                        _execute_traced(pending_specs[key], config, obs_config),
+                    )
+                else:
+                    finish(key, _execute(pending_specs[key], config))
+
+        if obs is not None and traced:
+            # Absorb in first-appearance input order, never pool completion
+            # order: the merged trace must be reproducible run-to-run.
+            for key in pending:
+                events, snapshot = traced_payloads[key]
+                obs.absorb(_spec_label(pending_specs[key]), events, snapshot)
 
         # Duplicates in the input count as resolved work too.
         while done < total:
@@ -179,17 +220,26 @@ class ParallelRunner:
         keys: List[Tuple],
         specs: Dict[Tuple, RunSpec],
         config: Optional[SimConfig],
-        finish: Callable[[Tuple, SimulationResult], None],
+        finish: Callable[[Tuple, object], None],
+        obs_config: Optional[ObsConfig] = None,
     ) -> List[Tuple]:
         """Simulate ``keys`` on a process pool; returns keys still pending
         (all of them when no pool is available, for the serial fallback)."""
         completed: set = set()
         try:
             with ProcessPoolExecutor(max_workers=min(self.jobs, len(keys))) as pool:
-                futures = {
-                    pool.submit(_simulate_spec, specs[key], config): key
-                    for key in keys
-                }
+                if obs_config is not None:
+                    futures = {
+                        pool.submit(
+                            _execute_traced, specs[key], config, obs_config
+                        ): key
+                        for key in keys
+                    }
+                else:
+                    futures = {
+                        pool.submit(_simulate_spec, specs[key], config): key
+                        for key in keys
+                    }
                 not_done = set(futures)
                 while not_done:
                     just_done, not_done = wait(not_done, return_when=FIRST_COMPLETED)

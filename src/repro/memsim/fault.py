@@ -10,7 +10,7 @@ faults to same-chunk pages *not* covered queue as fresh faults.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Set
+from typing import Any, Callable, Dict, List, Set
 
 __all__ = ["FarFault", "InFlightMigration"]
 
@@ -25,6 +25,10 @@ class FarFault:
     is_write: bool
     #: Called with the completion time when the page becomes resident.
     on_resolve: Callable[[int], None]
+
+    def trace_args(self) -> Dict[str, Any]:
+        """Structured-event payload for the observability tracer."""
+        return {"vpn": self.vpn, "sm": self.sm_id, "write": self.is_write}
 
 
 @dataclass
@@ -45,3 +49,12 @@ class InFlightMigration:
 
     def attach(self, fault: FarFault) -> None:
         self.faults.append(fault)
+
+    def trace_args(self) -> Dict[str, Any]:
+        """Structured-event payload for the observability tracer."""
+        return {
+            "chunk": self.chunk_id,
+            "pages": len(self.pages),
+            "faults": len(self.faults),
+            "token": self.token,
+        }

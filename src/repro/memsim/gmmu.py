@@ -28,6 +28,7 @@ from ..config import SimConfig
 from ..engine.events import EventQueue
 from ..engine.stats import IntervalRecord, SimStats
 from ..errors import SimulationError, ThrashingCrash
+from ..obs import DISABLED, Observability
 from ..policies.base import EvictionPolicy, PolicyContext
 from ..prefetch.base import PrefetchContext, Prefetcher
 from ..translation.hierarchy import TranslationHierarchy
@@ -53,6 +54,7 @@ class GMMU:
         prefetcher: Prefetcher,
         translation: Optional[TranslationHierarchy] = None,
         footprint_pages: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ):
         self.config = config
         self.uvm = config.uvm
@@ -61,6 +63,8 @@ class GMMU:
         self.policy = policy
         self.prefetcher = prefetcher
         self.translation = translation
+        self.obs = obs or DISABLED
+        self._trace = self.obs.tracer
 
         self.device = DeviceMemory(capacity_frames)
         self.page_table = (
@@ -69,7 +73,8 @@ class GMMU:
         )
         self.chain = ChunkChain()
         self.pcie = PCIeLink(
-            self.uvm.interconnect_gbps, self.uvm.clock_hz, self.uvm.page_size
+            self.uvm.interconnect_gbps, self.uvm.clock_hz, self.uvm.page_size,
+            obs=self.obs,
         )
         self.rng = random.Random(config.seed ^ 0x5EED)
 
@@ -86,6 +91,12 @@ class GMMU:
         self._memory_full_seen = False
         self._footprint_pages = footprint_pages
 
+        metrics = self.obs.metrics
+        self._m_faults = metrics.counter("gmmu.far_faults")
+        self._m_merged = metrics.counter("gmmu.merged_faults")
+        self._m_evictions = metrics.counter("gmmu.chunks_evicted")
+        self._h_batch = metrics.histogram("gmmu.batch_pages")
+
         policy.attach(
             PolicyContext(
                 chain=self.chain,
@@ -93,9 +104,12 @@ class GMMU:
                 config=config,
                 rng=self.rng,
                 get_interval=lambda: self._interval_index,
+                obs=self.obs,
             )
         )
-        prefetcher.attach(PrefetchContext(config=config, stats=stats))
+        prefetcher.attach(
+            PrefetchContext(config=config, stats=stats, obs=self.obs)
+        )
 
     # ------------------------------------------------------------------ API
 
@@ -130,14 +144,21 @@ class GMMU:
         """Entry point for an SM's far fault."""
         self.stats.far_faults += 1
         self._interval_faults += 1
+        self._m_faults.inc()
         ppc = self.uvm.pages_per_chunk
         self.policy.on_fault(fault.vpn, fault.vpn // ppc, fault.time)
+        if self._trace.enabled:
+            self._trace.emit(
+                "fault", fault.time, chunk=fault.vpn // ppc,
+                **fault.trace_args(),
+            )
 
         covering = self._covered.get(fault.vpn)
         if covering is not None:
             # The page is already on its way: merge.
             covering.attach(fault)
             self.stats.merged_faults += 1
+            self._m_merged.inc()
             return
         self._pending.append(fault)
         self._maybe_start_service(fault.time)
@@ -174,7 +195,9 @@ class GMMU:
         resident = self.page_table.is_resident
         covered = self._covered
         skip = lambda vpn: resident(vpn) or vpn in covered or vpn in in_batch
-        pages = self.prefetcher.pages_to_migrate(fault.vpn, self.memory_full, skip)
+        pages = self.prefetcher.pages_to_migrate(
+            fault.vpn, self.memory_full, skip, time=fault.time
+        )
         if not pages or fault.vpn not in pages:
             raise SimulationError(
                 f"prefetcher {self.prefetcher.name} did not include the "
@@ -202,6 +225,7 @@ class GMMU:
         if covering is not None:
             covering.attach(fault)
             self.stats.merged_faults += 1
+            self._m_merged.inc()
             return False
 
         in_batch: set = set()
@@ -230,6 +254,7 @@ class GMMU:
                     covering = self._covered[nxt.vpn]
                     covering.attach(nxt)
                     self.stats.merged_faults += 1
+                self._m_merged.inc()
                 continue
             if len(batch_pages) + len(extra) > max_total:
                 break
@@ -256,7 +281,8 @@ class GMMU:
         self._in_flight[mig.token] = mig
         self._active_services += 1
 
-        transfer = self.pcie.transfer_to_device(len(batch_pages))
+        self._h_batch.observe(len(batch_pages))
+        transfer = self.pcie.transfer_to_device(len(batch_pages), time=time)
         latency = (
             self.uvm.fault_latency_cycles
             + transfer
@@ -278,6 +304,11 @@ class GMMU:
             return 0
         if not self._memory_full_seen:
             self._memory_full_seen = True
+            if self._trace.enabled:
+                self._trace.emit(
+                    "memory_full", time, chain_length=len(self.chain),
+                    capacity_frames=self.device.capacity,
+                )
             self.policy.on_memory_full(time)
         shortfall = frames_needed - self._free_unreserved
         victims = self.policy.select_victims(shortfall, time)
@@ -316,10 +347,11 @@ class GMMU:
         self.stats.pages_evicted += evicted_pages
         self.stats.dirty_pages_written_back += dirty_pages
         self._interval_evictions += 1
+        self._m_evictions.inc()
         if dirty_pages:
             # Writebacks ride the duplex link: bytes counted, latency not on
             # the fault-service critical path (see DESIGN.md).
-            self.pcie.transfer_to_host(dirty_pages)
+            self.pcie.transfer_to_host(dirty_pages, time=time)
             self.stats.bytes_device_to_host = self.pcie.bytes_to_host
         # Prefetch accuracy accounting.
         touched_prefetched = bin(entry.prefetch_mask & entry.touched_mask).count("1")
@@ -335,12 +367,19 @@ class GMMU:
         snapshot.touched_mask = entry.touched_mask
         snapshot.prefetch_mask = entry.prefetch_mask
         snapshot.counter = entry.counter
+        if self._trace.enabled:
+            self._trace.emit(
+                "eviction", time, chunk=entry.chunk_id, pages=evicted_pages,
+                dirty=dirty_pages, untouch=snapshot.untouch_level(),
+                strategy=self.policy.current_strategy,
+            )
         self.policy.on_chunk_evicted(snapshot, time)
         self.prefetcher.on_chunk_evicted(
             entry.chunk_id,
             entry.touched_mask,
             snapshot.untouch_level(),
             self.policy.current_strategy,
+            time=time,
         )
         self._check_crash_budget()
 
@@ -389,6 +428,13 @@ class GMMU:
         migrated = len(mig.pages)
         self._reserved_frames -= migrated
         self.stats.pages_migrated += migrated
+        if self._trace.enabled:
+            # Chrome duration slice: anchored at the start, dur in cycles
+            # (the exporter converts both to microseconds).
+            self._trace.emit(
+                "migration", mig.start_time, dur=time - mig.start_time,
+                demand=len(mig.faults), **mig.trace_args(),
+            )
         self._advance_intervals(migrated, time)
 
         del self._in_flight[mig.token]
@@ -409,6 +455,25 @@ class GMMU:
             )
             self.policy.on_interval_end(record, time)
             self.stats.record_interval(record)
+            if self._trace.enabled:
+                # The policy filled the strategy/distance/untouch fields in
+                # ``record`` above; pattern occupancy comes from the metrics
+                # registry (cross-component read, 0 when no pattern buffer).
+                self._trace.emit(
+                    "interval", time,
+                    index=record.index,
+                    strategy=record.strategy,
+                    forward_distance=record.forward_distance,
+                    untouch_level=record.untouch_total,
+                    wrong_evictions=record.wrong_evictions,
+                    faults=record.faults,
+                    chunks_evicted=record.chunks_evicted,
+                    pattern_occupancy=self.obs.metrics.value(
+                        "pattern.occupancy"
+                    ),
+                    bytes_h2d=self.pcie.bytes_to_device,
+                    bytes_d2h=self.pcie.bytes_to_host,
+                )
             self._interval_index += 1
             self._interval_faults = 0
             self._interval_evictions = 0

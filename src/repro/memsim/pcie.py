@@ -10,6 +10,9 @@ see DESIGN.md, simulation model).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..obs import DISABLED, Observability
 from ..units import transfer_cycles
 
 __all__ = ["PCIeLink"]
@@ -19,24 +22,44 @@ class PCIeLink:
     """Bandwidth/byte accounting for the CPU-GPU interconnect."""
 
     def __init__(self, bandwidth_gbps: float = 16.0, clock_hz: float = 1.4e9,
-                 page_size: int = 4096):
+                 page_size: int = 4096, obs: Optional[Observability] = None):
         self.bandwidth_gbps = bandwidth_gbps
         self.clock_hz = clock_hz
         self.page_size = page_size
         self.bytes_to_device = 0
         self.bytes_to_host = 0
         self._page_cycles = transfer_cycles(page_size, bandwidth_gbps, clock_hz)
+        obs = obs or DISABLED
+        self._trace = obs.tracer
+        self._m_h2d = obs.metrics.counter("pcie.bytes_h2d")
+        self._m_d2h = obs.metrics.counter("pcie.bytes_d2h")
 
     @property
     def cycles_per_page(self) -> int:
         return self._page_cycles
 
-    def transfer_to_device(self, num_pages: int) -> int:
+    def transfer_to_device(self, num_pages: int, time: int = 0) -> int:
         """Account a host->device migration; returns transfer cycles."""
-        self.bytes_to_device += num_pages * self.page_size
-        return num_pages * self._page_cycles
+        nbytes = num_pages * self.page_size
+        self.bytes_to_device += nbytes
+        self._m_h2d.inc(nbytes)
+        cycles = num_pages * self._page_cycles
+        if self._trace.enabled:
+            self._trace.emit(
+                "pcie", time, dir="h2d", pages=num_pages, bytes=nbytes,
+                cycles=cycles,
+            )
+        return cycles
 
-    def transfer_to_host(self, num_pages: int) -> int:
+    def transfer_to_host(self, num_pages: int, time: int = 0) -> int:
         """Account a device->host writeback; returns transfer cycles."""
-        self.bytes_to_host += num_pages * self.page_size
-        return num_pages * self._page_cycles
+        nbytes = num_pages * self.page_size
+        self.bytes_to_host += nbytes
+        self._m_d2h.inc(nbytes)
+        cycles = num_pages * self._page_cycles
+        if self._trace.enabled:
+            self._trace.emit(
+                "pcie", time, dir="d2h", pages=num_pages, bytes=nbytes,
+                cycles=cycles,
+            )
+        return cycles

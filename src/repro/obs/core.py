@@ -1,0 +1,96 @@
+"""Observability handle: one tracer + one metrics registry.
+
+A single :class:`Observability` object is threaded (explicitly, never via
+``SimConfig``) through ``Simulator`` -> ``GMMU`` -> policies / prefetchers /
+PCIe.  Keeping it out of :class:`~repro.config.SimConfig` is deliberate:
+the result-cache key is a content hash of ``(RunSpec, SimConfig)``, and
+observability must be invisible to it — a traced and an untraced run of the
+same config have the same key and produce bit-identical results.
+
+The module-level :data:`DISABLED` singleton is the default everywhere; it is
+stateless (null tracer, null registry) and safe to share across simulations
+and processes.  Enabled instances are per-run: build one with
+:func:`make_observability` (or ``Observability.enabled_()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry, NullRegistry
+from .tracer import NullTracer, TraceEvent, Tracer
+
+__all__ = ["ObsConfig", "Observability", "DISABLED", "make_observability"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Picklable observability request, shipped to pool workers.
+
+    This is *not* part of :class:`~repro.config.SimConfig` and never enters
+    the result-cache key.
+    """
+
+    trace: bool = True
+    metrics: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.metrics
+
+
+class Observability:
+    """The tracer/registry pair a simulation reports into."""
+
+    def __init__(self, tracer: Tracer, metrics: MetricsRegistry) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    @classmethod
+    def enabled_(cls) -> "Observability":
+        """A fresh, fully enabled instance (one per traced run/merge)."""
+        return cls(Tracer(), MetricsRegistry())
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(NullTracer(), NullRegistry())
+
+    def absorb(
+        self,
+        run: str,
+        events: List[TraceEvent],
+        snapshot: Dict[str, Dict[str, object]],
+    ) -> None:
+        """Merge one finished run's trace + metrics under the label ``run``.
+
+        Callers (the harness) absorb runs in a deterministic order — input
+        spec order — so a merged multi-run trace is reproducible regardless
+        of pool scheduling.
+        """
+        self.tracer.extend(events, run=run)
+        self.metrics.absorb(snapshot, prefix=run)
+
+    def config(self) -> ObsConfig:
+        """The :class:`ObsConfig` that reproduces this instance's shape."""
+        return ObsConfig(
+            trace=self.tracer.enabled, metrics=self.metrics.enabled
+        )
+
+
+#: Shared do-nothing instance: the default for every simulation component.
+DISABLED = Observability.disabled()
+
+
+def make_observability(config: Optional[ObsConfig]) -> Observability:
+    """Build the observability described by ``config`` (None = disabled)."""
+    if config is None or not config.enabled:
+        return DISABLED
+    return Observability(
+        Tracer() if config.trace else NullTracer(),
+        MetricsRegistry() if config.metrics else NullRegistry(),
+    )

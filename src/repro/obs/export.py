@@ -1,0 +1,308 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, interval timeseries.
+
+Three views of one event stream:
+
+* **JSONL** — one structured record per line, grep/jq-friendly;
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto ``trace_event``
+  format (JSON object with a ``traceEvents`` array): migrations render as
+  duration slices, faults/evictions as instants, forward distance and
+  interval telemetry as counter tracks;
+* **intervals** — a per-interval timeseries table (forward distance,
+  strategy, untouch level, wrong evictions, pattern-buffer occupancy, PCIe
+  bytes), the data behind the paper's Figs. 3-10 style analysis.
+
+All exporters are pure functions of the event list (plus the configured
+clock for cycle->microsecond conversion) — exporting a deterministic trace
+is itself deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..units import DEFAULT_CLOCK_HZ
+from .tracer import TraceEvent
+
+__all__ = [
+    "INTERVAL_COLUMNS",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "interval_rows",
+    "write_intervals",
+]
+
+PathLike = Union[str, Path]
+
+#: Column order of the per-interval timeseries.
+INTERVAL_COLUMNS: Tuple[str, ...] = (
+    "run",
+    "index",
+    "end_time",
+    "strategy",
+    "forward_distance",
+    "untouch_level",
+    "wrong_evictions",
+    "faults",
+    "chunks_evicted",
+    "pattern_occupancy",
+    "bytes_h2d",
+    "bytes_d2h",
+)
+
+#: Event kind -> Chrome tid lane (one named row per subsystem per run).
+_LANES: Dict[str, Tuple[int, str]] = {
+    "run_start": (0, "run"),
+    "run_end": (0, "run"),
+    "memory_full": (0, "run"),
+    "fault": (1, "gmmu"),
+    "migration": (1, "gmmu"),
+    "eviction": (1, "gmmu"),
+    "interval": (1, "gmmu"),
+    "strategy_switch": (2, "policy"),
+    "forward_distance": (2, "policy"),
+    "pattern_record": (3, "prefetch"),
+    "pattern_hit": (3, "prefetch"),
+    "pattern_mismatch": (3, "prefetch"),
+    "pattern_delete": (3, "prefetch"),
+    "pcie": (4, "pcie"),
+}
+
+#: Interval-event args rendered as Chrome counter tracks.
+_INTERVAL_COUNTERS: Tuple[str, ...] = (
+    "untouch_level",
+    "wrong_evictions",
+    "pattern_occupancy",
+)
+
+
+# --------------------------------------------------------------------- JSONL
+
+
+def write_jsonl(events: Sequence[TraceEvent], path: PathLike) -> Path:
+    """One sorted-key JSON object per line; returns the written path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_json_dict(), sort_keys=True))
+            fh.write("\n")
+    return out
+
+
+# -------------------------------------------------------------- Chrome trace
+
+
+def _ts_us(cycles: int, clock_hz: float) -> float:
+    """Simulation cycles -> trace_event microseconds."""
+    return cycles * 1e6 / clock_hz
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent], clock_hz: float = DEFAULT_CLOCK_HZ
+) -> Dict[str, object]:
+    """Build a ``trace_event``-format payload from ``events``.
+
+    Runs map to Chrome *processes* (pid per run label, in first-appearance
+    order), subsystems to named *threads*; migrations become ``X`` duration
+    slices, scalar telemetry becomes ``C`` counter samples, everything else
+    an instant.
+    """
+    pids: Dict[str, int] = {}
+    trace_events: List[Dict[str, object]] = []
+
+    for event in events:
+        run = event.run or "run"
+        if run not in pids:
+            pid = len(pids) + 1
+            pids[run] = pid
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": run},
+                }
+            )
+            for tid, lane in sorted(set(_LANES.values())):
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": lane},
+                    }
+                )
+        pid = pids[run]
+        tid = _LANES.get(event.kind, (0, "run"))[0]
+        ts = _ts_us(event.time, clock_hz)
+        args = {k: event.args[k] for k in sorted(event.args)}
+
+        if event.kind == "migration":
+            dur_cycles = args.pop("dur", 0)
+            dur = dur_cycles if isinstance(dur_cycles, (int, float)) else 0
+            trace_events.append(
+                {
+                    "name": "migration",
+                    "cat": "gmmu",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": _ts_us(int(dur), clock_hz),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        elif event.kind == "forward_distance":
+            trace_events.append(
+                {
+                    "name": "forward_distance",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"forward_distance": args.get("value", 0)},
+                }
+            )
+        elif event.kind == "interval":
+            for series in _INTERVAL_COUNTERS:
+                if series in args:
+                    trace_events.append(
+                        {
+                            "name": series,
+                            "ph": "C",
+                            "ts": ts,
+                            "pid": pid,
+                            "tid": tid,
+                            "args": {series: args[series]},
+                        }
+                    )
+            trace_events.append(
+                {
+                    "name": "interval",
+                    "cat": "gmmu",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": event.kind,
+                    "cat": _LANES.get(event.kind, (0, "run"))[1],
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock_hz": clock_hz, "time_unit": "cycles->us"},
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: PathLike,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+) -> Path:
+    """Write the Chrome trace JSON (validated first); returns the path."""
+    payload = chrome_trace(events, clock_hz)
+    errors = validate_chrome_trace(payload)
+    if errors:  # pragma: no cover - exporter and validator move in lockstep
+        raise ValueError(
+            f"generated Chrome trace failed validation: {errors[:3]}"
+        )
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    return out
+
+
+_VALID_PHASES = frozenset({"X", "i", "I", "C", "M", "B", "E", "b", "e", "n"})
+
+
+def validate_chrome_trace(payload: object) -> List[str]:
+    """Check ``payload`` against the ``trace_event`` JSON object format.
+
+    Returns a list of human-readable problems (empty = valid).  This is the
+    schema gate CI runs against every uploaded trace artifact.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object with a 'traceEvents' array"]
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["'traceEvents' must be an array"]
+    for i, event in enumerate(trace_events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty 'name'")
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            errors.append(f"{where}: invalid phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: '{key}' must be an integer")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs non-negative 'dur'")
+        if ph in ("i", "I") and event.get("s") not in (None, "t", "p", "g"):
+            errors.append(f"{where}: instant scope must be 't', 'p' or 'g'")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+# ----------------------------------------------------------------- intervals
+
+
+def interval_rows(events: Sequence[TraceEvent]) -> List[Dict[str, object]]:
+    """The per-interval timeseries: one row per ``interval`` event, columns
+    as in :data:`INTERVAL_COLUMNS` (missing telemetry renders as '')."""
+    rows: List[Dict[str, object]] = []
+    for event in events:
+        if event.kind != "interval":
+            continue
+        row: Dict[str, object] = {"run": event.run, "end_time": event.time}
+        for column in INTERVAL_COLUMNS:
+            if column in ("run", "end_time"):
+                continue
+            row[column] = event.args.get(column, "")
+        rows.append(row)
+    return rows
+
+
+def write_intervals(events: Sequence[TraceEvent], path: PathLike) -> Path:
+    """Write the interval timeseries as a TSV; returns the written path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["\t".join(INTERVAL_COLUMNS)]
+    for row in interval_rows(events):
+        lines.append("\t".join(str(row[c]) for c in INTERVAL_COLUMNS))
+    out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return out

@@ -1,0 +1,275 @@
+"""Typed metrics registry (counters, gauges, histograms).
+
+Simulation components register named instruments at attach time and update
+them on hot paths.  With observability disabled (the default) the registry
+hands out shared null instruments whose updates are no-ops, so the
+simulation pays one attribute lookup and one empty call per update site —
+and nothing else (no dict churn, no allocation).
+
+Every instrument is deterministic: values derive only from simulation
+events, never from wall clock or host state, so a metrics snapshot is as
+reproducible as the run that produced it (``repro lint`` REPRO101-105 apply
+to this module).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "DEFAULT_HISTOGRAM_BOUNDS",
+]
+
+Number = Union[int, float]
+
+#: Power-of-two-ish bucket upper bounds suiting page/batch counts.
+DEFAULT_HISTOGRAM_BOUNDS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def snapshot_value(self) -> object:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def snapshot_value(self) -> object:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound bucket histogram (cumulative counts not kept; one bucket
+    per observation, plus count/total for mean derivation)."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: Sequence[Number] = DEFAULT_HISTOGRAM_BOUNDS
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: bounds must be sorted")
+        self.name = name
+        self.bounds: Tuple[Number, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total: Number = 0
+
+    def observe(self, value: Number) -> None:
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.bucket_counts[idx] += 1
+        self.count += 1
+        self.total += value
+
+    def snapshot_value(self) -> object:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class NullCounter(Counter):
+    """No-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    """No-op gauge handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    """No-op histogram handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Name -> instrument map with idempotent registration.
+
+    Registering the same name twice returns the existing instrument (so a
+    policy and the GMMU may share a counter); re-registering under a
+    different type is a bug and raises.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def _register(self, instrument: Instrument) -> Instrument:
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if type(existing).kind != type(instrument).kind:
+                raise ValueError(
+                    f"metric {instrument.name!r} already registered as "
+                    f"{type(existing).kind}, not {type(instrument).kind}"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        inst = self._register(Counter(name))
+        assert isinstance(inst, Counter)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._register(Gauge(name))
+        assert isinstance(inst, Gauge)
+        return inst
+
+    def histogram(
+        self, name: str, bounds: Sequence[Number] = DEFAULT_HISTOGRAM_BOUNDS
+    ) -> Histogram:
+        inst = self._register(Histogram(name, bounds))
+        assert isinstance(inst, Histogram)
+        return inst
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        """Current scalar value of a counter/gauge (``default`` if absent).
+
+        Lets a component read another component's published state without a
+        direct reference — e.g. the GMMU stamps the pattern buffer occupancy
+        gauge into each interval record without knowing the prefetcher type.
+        """
+        inst = self._instruments.get(name)
+        if isinstance(inst, (Counter, Gauge)):
+            return inst.value
+        return default
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic (name-sorted) dump of every instrument."""
+        return {
+            name: {"kind": inst.kind, "value": inst.snapshot_value()}
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def absorb(
+        self, snapshot: Dict[str, Dict[str, object]], prefix: str = ""
+    ) -> None:
+        """Merge a snapshot produced elsewhere (e.g. a pool worker) under
+        ``prefix``.  Counters/gauges become gauges holding the snapshot
+        value; histograms are stored verbatim as gauges of their dump —
+        absorbed metrics are *records* of a finished run, not live
+        instruments."""
+        for name in sorted(snapshot):
+            payload = snapshot[name]
+            full = f"{prefix}/{name}" if prefix else name
+            value = payload.get("value")
+            if isinstance(value, (int, float)):
+                gauge = Gauge(full)
+                gauge.value = value
+                self._instruments[full] = gauge
+            else:
+                # Preserve structured values (histogram dumps) losslessly.
+                self._instruments[full] = _FrozenMetric(full, value)
+
+
+class _FrozenMetric(Gauge):
+    """An absorbed non-scalar metric (histogram dump from a worker)."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, name: str, payload: object) -> None:
+        super().__init__(name)
+        self.payload = payload
+
+    def snapshot_value(self) -> object:
+        return self.payload
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every registration returns a shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = NullCounter("null")
+        self._null_gauge = NullGauge("null")
+        self._null_histogram = NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[Number] = DEFAULT_HISTOGRAM_BOUNDS
+    ) -> Histogram:
+        return self._null_histogram
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        return default
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def absorb(
+        self, snapshot: Dict[str, Dict[str, object]], prefix: str = ""
+    ) -> None:
+        pass

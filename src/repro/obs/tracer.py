@@ -1,0 +1,119 @@
+"""Structured event tracer with simulation-time stamps.
+
+Components emit :class:`TraceEvent` records through a :class:`Tracer`; with
+tracing disabled (the default :class:`NullTracer`) every hot call site is
+guarded by ``tracer.enabled``, so a disabled run never builds the kwargs
+dict — tracing is zero-overhead when off and, by construction, cannot
+influence simulation state when on (the tracer only records).
+
+Timestamps are **simulation cycles** (the event-queue clock), never wall
+clock: a trace of a seeded run is itself deterministic, and ``repro lint``
+REPRO101-105 hold for this module like any other simulation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+]
+
+#: The structured record vocabulary.  Exporters key off these; emitting an
+#: unknown kind raises so the vocabulary cannot silently drift.
+EVENT_KINDS: Tuple[str, ...] = (
+    "run_start",        # simulation begins (workload/policy/prefetcher/capacity)
+    "run_end",          # simulation finished (cycles, crashed)
+    "fault",            # far fault raised by an SM
+    "migration",        # fault-service op completed (args: dur = latency)
+    "eviction",         # one victim chunk unmapped
+    "memory_full",      # device memory reached capacity for the first time
+    "strategy_switch",  # eviction policy changed strategy
+    "forward_distance", # MHPE forward distance set/adjusted (corrected value)
+    "interval",         # interval boundary (64 migrated pages) + telemetry
+    "pattern_record",   # pattern buffer stored an evicted chunk's pattern
+    "pattern_hit",      # faulted page matched a recorded pattern
+    "pattern_mismatch", # faulted page mismatched a recorded pattern
+    "pattern_delete",   # pattern entry removed (deletion scheme)
+    "pcie",             # PCIe transfer charged (h2d migration / d2h writeback)
+)
+
+_KNOWN_KINDS = frozenset(EVENT_KINDS)
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``time`` is in simulation cycles.  ``run`` labels which simulation the
+    event came from when traces of several runs are merged (empty for a
+    single-run trace).
+    """
+
+    time: int
+    kind: str
+    args: Dict[str, object] = field(default_factory=dict)
+    run: str = ""
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Flat, deterministic dict for the JSONL exporter."""
+        out: Dict[str, object] = {"time": self.time, "kind": self.kind}
+        if self.run:
+            out["run"] = self.run
+        out["args"] = {k: self.args[k] for k in sorted(self.args)}
+        return out
+
+
+class Tracer:
+    """Append-only in-memory event sink."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, kind: str, time: int, **args: object) -> None:
+        """Record one event.  ``time`` is the simulation clock in cycles."""
+        if kind not in _KNOWN_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        self.events.append(TraceEvent(time=time, kind=kind, args=args))
+
+    def extend(self, events: Iterable[TraceEvent], run: str = "") -> None:
+        """Merge events recorded elsewhere (a pool worker), tagged ``run``."""
+        if run:
+            self.events.extend(
+                TraceEvent(time=e.time, kind=e.kind, args=e.args, run=run)
+                for e in events
+            )
+        else:
+            self.events.extend(events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kind_counts(self) -> Dict[str, int]:
+        """``{kind: count}`` over the recorded events (sorted by kind)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: ``enabled`` is False and ``emit`` is a no-op.
+
+    Hot paths guard on ``tracer.enabled`` so the no-op is never even
+    reached during normal (untraced) simulation.
+    """
+
+    enabled = False
+
+    def emit(self, kind: str, time: int, **args: object) -> None:
+        pass

@@ -23,6 +23,7 @@ from ..config import SimConfig
 from ..engine.stats import IntervalRecord, SimStats
 from ..errors import SimulationError
 from ..memsim.chunk_chain import ChunkChain, ChunkEntry
+from ..obs import DISABLED, Observability
 
 __all__ = ["PolicyContext", "EvictionPolicy"]
 
@@ -36,6 +37,9 @@ class PolicyContext:
     config: SimConfig
     rng: random.Random
     get_interval: Callable[[], int] = field(default=lambda: 0)
+    #: Observability sink (tracer + metrics registry); the DISABLED
+    #: singleton is stateless, so sharing it as a default is safe.
+    obs: Observability = DISABLED
 
 
 class EvictionPolicy:

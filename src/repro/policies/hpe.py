@@ -52,6 +52,13 @@ class HPEPolicy(EvictionPolicy):
     def current_strategy(self) -> str:
         return "mru" if self._strategy == "mru-c" else "lru"
 
+    def attach(self, ctx) -> None:  # noqa: ANN001 - see base class
+        super().attach(ctx)
+        obs = ctx.obs
+        self._trace = obs.tracer
+        self._m_wrong = obs.metrics.counter("policy.wrong_evictions")
+        self._m_switches = obs.metrics.counter("policy.strategy_switches")
+
     # --- chain events ------------------------------------------------------
 
     def on_page_touched(self, entry: ChunkEntry, vpn: int, time: int) -> None:
@@ -69,24 +76,25 @@ class HPEPolicy(EvictionPolicy):
                 pass
             self._wrong_this_interval += 1
             self.ctx.stats.wrong_evictions += 1
+            self._m_wrong.inc()
 
     def on_chunk_evicted(self, entry: ChunkEntry, time: int) -> None:
         self._evicted_buffer.append(entry.chunk_id)
 
     def on_memory_full(self, time: int) -> None:
-        self._classify()
+        self._classify(time)
 
     def on_interval_end(self, record: IntervalRecord, time: int) -> None:
         record.strategy = self.current_strategy
         record.wrong_evictions = self._wrong_this_interval
         self._intervals_on_strategy += 1
         if self._category == "irregular2":
-            self._maybe_switch()
+            self._maybe_switch(time)
         self._wrong_this_interval = 0
 
     # --- classification and switching ---------------------------------------
 
-    def _classify(self) -> None:
+    def _classify(self, time: int) -> None:
         """Classify from chunk counters (polluted by prefetch, by design)."""
         counters = [e.counter for e in self.ctx.chain.from_head()]
         if not counters:
@@ -104,8 +112,14 @@ class HPEPolicy(EvictionPolicy):
             self._strategy = "lru"
         self._qualify_threshold = max(1, int(avg))
         self._classified = True
+        if self._trace.enabled:
+            self._trace.emit(
+                "strategy_switch", time, policy=self.name,
+                from_="", to=self.current_strategy, trigger="classify",
+                category=self._category, counter_avg=round(avg, 3),
+            )
 
-    def _maybe_switch(self) -> None:
+    def _maybe_switch(self, time: int) -> None:
         """irregular#2: switch strategies when the current one accumulates
         wrong evictions, keeping the strategy that historically lasted
         longer (a faithful-in-spirit reading of 'comparing the number of
@@ -115,8 +129,16 @@ class HPEPolicy(EvictionPolicy):
             self._best_run[self._strategy] = max(
                 self._best_run[self._strategy], self._intervals_on_strategy
             )
+            old = self.current_strategy
             self._strategy = "lru" if self._strategy == "mru-c" else "mru-c"
             self._intervals_on_strategy = 0
+            self._m_switches.inc()
+            if self._trace.enabled:
+                self._trace.emit(
+                    "strategy_switch", time, policy=self.name,
+                    from_=old, to=self.current_strategy, trigger="patience",
+                    wrong=self._wrong_this_interval,
+                )
 
     # --- selection ------------------------------------------------------------
 

@@ -19,7 +19,7 @@ Differences from HPE, as specified by the paper:
 * **Adjustment**: each interval in MRU mode, the untouch level (bucketed
   into five ranges over 0..T1-1) is compared with the number of wrong
   evictions W (0..4); the larger value is added to the forward distance,
-  but only while the distance has not exceeded ``T3`` (=32).
+  clamped so the distance never exceeds ``T3`` (=32).
 * **Wrong evictions** are detected with a buffer of recently evicted chunks
   of length ``max(8, 8 * (chain_length // 64))``; a faulting chunk found in
   the buffer counts once, and when re-migrated it is inserted at the chain
@@ -29,7 +29,7 @@ Differences from HPE, as specified by the paper:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 from ..config import MHPEConfig
 from ..engine.stats import IntervalRecord
@@ -70,7 +70,21 @@ class MHPEPolicy(EvictionPolicy):
         self._untouch_first_four = 0
         self._wrong_this_interval = 0
         self._evicted_buffer: Deque[int] = deque(maxlen=8)
+        #: Occurrence counts mirroring ``_evicted_buffer``: the buffer is
+        #: consulted on *every* fault, so membership must be O(1), not an
+        #: O(n) deque scan (Section VI-C keeps the buffer small exactly to
+        #: bound this cost).  A count (not a plain set) preserves exact
+        #: FIFO semantics if a chunk ever appears twice.
+        self._evicted_counts: Dict[int, int] = {}
         self._wrong_chunks: Set[int] = set()
+
+    def attach(self, ctx) -> None:  # noqa: ANN001 - see base class
+        super().attach(ctx)
+        obs = ctx.obs
+        self._trace = obs.tracer
+        self._g_distance = obs.metrics.gauge("mhpe.forward_distance")
+        self._m_wrong = obs.metrics.counter("policy.wrong_evictions")
+        self._m_switches = obs.metrics.counter("policy.strategy_switches")
 
     @property
     def cfg(self) -> MHPEConfig:
@@ -104,7 +118,10 @@ class MHPEPolicy(EvictionPolicy):
             self.ctx.chain.move_to_tail(entry.chunk_id)
 
     def on_fault(self, vpn: int, chunk_id: int, time: int) -> None:
-        if chunk_id in self._evicted_buffer:
+        # O(1) membership via the count mirror; the (rare) removal on a
+        # confirmed wrong eviction is the only remaining deque scan.
+        if self._evicted_counts.get(chunk_id, 0) > 0:
+            self._dec_evicted(chunk_id)
             try:
                 self._evicted_buffer.remove(chunk_id)
             except ValueError:  # pragma: no cover
@@ -112,12 +129,27 @@ class MHPEPolicy(EvictionPolicy):
             self._wrong_this_interval += 1
             self._wrong_chunks.add(chunk_id)
             self.ctx.stats.wrong_evictions += 1
+            self._m_wrong.inc()
+
+    def _dec_evicted(self, chunk_id: int) -> None:
+        remaining = self._evicted_counts.get(chunk_id, 0) - 1
+        if remaining > 0:
+            self._evicted_counts[chunk_id] = remaining
+        else:
+            self._evicted_counts.pop(chunk_id, None)
 
     def on_chunk_evicted(self, entry: ChunkEntry, time: int) -> None:
         untouch = entry.untouch_level()
         self._untouch_this_interval += untouch
         self.ctx.stats.untouch_total += untouch
-        self._evicted_buffer.append(entry.chunk_id)
+        buf = self._evicted_buffer
+        if buf.maxlen is not None and len(buf) == buf.maxlen:
+            # append() below silently drops the FIFO head; mirror that.
+            self._dec_evicted(buf[0])
+        buf.append(entry.chunk_id)
+        self._evicted_counts[entry.chunk_id] = (
+            self._evicted_counts.get(entry.chunk_id, 0) + 1
+        )
 
     def on_memory_full(self, time: int) -> None:
         if self._memory_full:
@@ -129,9 +161,19 @@ class MHPEPolicy(EvictionPolicy):
         distance = chain_len // cfg.init_divisor
         self.forward_distance = max(cfg.init_lo, min(cfg.init_hi, distance))
         self.ctx.stats.forward_distance_history.append(self.forward_distance)
+        self._g_distance.set(self.forward_distance)
+        if self._trace.enabled:
+            self._trace.emit(
+                "forward_distance", time, value=self.forward_distance,
+                reason="initial", chain_length=chain_len,
+            )
         # Evicted-chunk buffer sized from the memory footprint.
         buf_len = max(cfg.min_buffer, cfg.buffer_unit * (chain_len // cfg.buffer_divisor))
         self._evicted_buffer = deque(self._evicted_buffer, maxlen=buf_len)
+        counts: Dict[int, int] = {}
+        for cid in self._evicted_buffer:
+            counts[cid] = counts.get(cid, 0) + 1
+        self._evicted_counts = counts
         self.ctx.stats.evicted_buffer_length = buf_len
 
     def on_interval_end(self, record: IntervalRecord, time: int) -> None:
@@ -154,21 +196,41 @@ class MHPEPolicy(EvictionPolicy):
 
         if self.strategy == "mru":
             switch = u1 >= cfg.t1
-            if self._intervals_since_full == 4:
-                switch = switch or self._untouch_first_four >= cfg.t2
+            trigger = "t1"
+            if self._intervals_since_full == 4 and not switch:
+                switch = self._untouch_first_four >= cfg.t2
+                trigger = "t2"
             if not cfg.switch_enabled:
                 switch = False
             if switch:
                 self.strategy = "lru"
                 self.ctx.stats.strategy_switch_time = time
-            elif cfg.adjust_enabled and self.forward_distance <= cfg.t3:
-                # Algorithm 1 lines 14-15: grow by max(bucket(U1), W).
+                self._m_switches.inc()
+                if self._trace.enabled:
+                    self._trace.emit(
+                        "strategy_switch", time, policy=self.name,
+                        from_="mru", to="lru", trigger=trigger,
+                        untouch=u1, untouch_first_four=self._untouch_first_four,
+                    )
+            elif cfg.adjust_enabled and self.forward_distance < cfg.t3:
+                # Algorithm 1 lines 14-15: grow by max(bucket(U1), W),
+                # clamped so the distance never exceeds T3 (Section VI-A:
+                # the adjustment stops once the limit is reached).
                 bump = max(untouch_bucket(u1, cfg.t1), w)
                 if bump:
-                    self.forward_distance += bump
+                    self.forward_distance = min(
+                        cfg.t3, self.forward_distance + bump
+                    )
                     self.ctx.stats.forward_distance_history.append(
                         self.forward_distance
                     )
+                    self._g_distance.set(self.forward_distance)
+                    if self._trace.enabled:
+                        self._trace.emit(
+                            "forward_distance", time,
+                            value=self.forward_distance, reason="adjust",
+                            untouch=u1, wrong=w,
+                        )
         self.ctx.stats.final_strategy = self.strategy
         self._reset_interval()
 

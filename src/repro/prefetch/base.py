@@ -14,6 +14,7 @@ from typing import Callable, List
 
 from ..config import SimConfig
 from ..engine.stats import SimStats
+from ..obs import DISABLED, Observability
 
 __all__ = ["PrefetchContext", "Prefetcher"]
 
@@ -24,6 +25,9 @@ class PrefetchContext:
 
     config: SimConfig
     stats: SimStats
+    #: Observability sink (tracer + metrics registry); the DISABLED
+    #: singleton is stateless, so sharing it as a default is safe.
+    obs: Observability = DISABLED
 
     @property
     def pages_per_chunk(self) -> int:
@@ -46,6 +50,7 @@ class Prefetcher:
         vpn: int,
         memory_full: bool,
         skip: Callable[[int], bool],
+        time: int = 0,
     ) -> List[int]:
         """Pages to migrate for a fault on ``vpn``.
 
@@ -53,11 +58,18 @@ class Prefetcher:
         covered in flight) and must not include any page for which
         ``skip(page)`` is True.  ``memory_full`` tells the prefetcher the
         device is at capacity and every extra page forces an eviction.
+        ``time`` is the fault's simulation time, used only for telemetry
+        (trace events) — it must never influence the page batch.
         """
         return [] if skip(vpn) else [vpn]
 
     def on_chunk_evicted(
-        self, chunk_id: int, touched_mask: int, untouch_level: int, strategy: str
+        self,
+        chunk_id: int,
+        touched_mask: int,
+        untouch_level: int,
+        strategy: str,
+        time: int = 0,
     ) -> None:
         """Eviction feedback (CPPE coordination point).  Default: ignore."""
 

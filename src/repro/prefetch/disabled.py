@@ -15,6 +15,7 @@ class DisabledPrefetcher(Prefetcher):
     name = "none"
 
     def pages_to_migrate(
-        self, vpn: int, memory_full: bool, skip: Callable[[int], bool]
+        self, vpn: int, memory_full: bool, skip: Callable[[int], bool],
+        time: int = 0,
     ) -> List[int]:
         return [] if skip(vpn) else [vpn]

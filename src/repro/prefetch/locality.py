@@ -31,9 +31,21 @@ class LocalityPrefetcher(Prefetcher):
         self.on_full = on_full
         self.name = f"locality/{on_full}"
 
+    def attach(self, ctx) -> None:  # noqa: ANN001 - see base class
+        super().attach(ctx)
+        metrics = ctx.obs.metrics
+        self._m_batches = metrics.counter("prefetch.chunk_batches")
+        self._m_demand_only = metrics.counter("prefetch.demand_only")
+        self._m_batch_pages = metrics.histogram("prefetch.batch_pages")
+
     def pages_to_migrate(
-        self, vpn: int, memory_full: bool, skip: Callable[[int], bool]
+        self, vpn: int, memory_full: bool, skip: Callable[[int], bool],
+        time: int = 0,
     ) -> List[int]:
         if memory_full and self.on_full == "stop":
+            self._m_demand_only.inc()
             return [] if skip(vpn) else [vpn]
-        return self._chunk_pages(vpn, skip)
+        pages = self._chunk_pages(vpn, skip)
+        self._m_batches.inc()
+        self._m_batch_pages.observe(len(pages))
+        return pages

@@ -65,12 +65,18 @@ class PatternBuffer:
         if touched_mask == 0:
             # A never-touched chunk has no pattern to replay.
             return False
-        cap = self.config.max_entries
-        if cap is not None and chunk_id not in self._entries:
-            while len(self._entries) >= cap:
-                oldest = next(iter(self._entries))
-                del self._entries[oldest]
-                self.deletions += 1
+        if chunk_id in self._entries:
+            # Delete-then-reinsert: a refreshed pattern moves to the FIFO
+            # tail.  Plain reassignment would keep the old dict insertion
+            # position, making the *newest* pattern the first one evicted.
+            del self._entries[chunk_id]
+        else:
+            cap = self.config.max_entries
+            if cap is not None:
+                while len(self._entries) >= cap:
+                    oldest = next(iter(self._entries))
+                    del self._entries[oldest]
+                    self.deletions += 1
         self._entries[chunk_id] = PatternEntry(chunk_id, touched_mask)
         self.inserts += 1
         if len(self._entries) > self.peak:
@@ -102,11 +108,19 @@ class PatternAwarePrefetcher(Prefetcher):
         cfg = self._cfg_override or ctx.config.pattern_buffer
         self.buffer = PatternBuffer(cfg)
         self.name = f"pattern-aware/s{cfg.deletion_scheme}"
+        obs = ctx.obs
+        self._trace = obs.tracer
+        self._g_occupancy = obs.metrics.gauge("pattern.occupancy")
+        self._m_hits = obs.metrics.counter("pattern.hits")
+        self._m_mismatches = obs.metrics.counter("pattern.mismatches")
+        self._m_records = obs.metrics.counter("pattern.records")
+        self._m_deletions = obs.metrics.counter("pattern.deletions")
 
     # --- coordination: MHPE evictions feed the buffer -----------------------
 
     def on_chunk_evicted(
-        self, chunk_id: int, touched_mask: int, untouch_level: int, strategy: str
+        self, chunk_id: int, touched_mask: int, untouch_level: int, strategy: str,
+        time: int = 0,
     ) -> None:
         cfg = self.buffer.config
         if cfg.lru_only and strategy != "lru":
@@ -116,11 +130,19 @@ class PatternAwarePrefetcher(Prefetcher):
             stats.pattern_inserts += 1
             stats.pattern_buffer_peak = self.buffer.peak
             stats.pattern_buffer_len_samples.append(len(self.buffer))
+            self._m_records.inc()
+            self._g_occupancy.set(len(self.buffer))
+            if self._trace.enabled:
+                self._trace.emit(
+                    "pattern_record", time, chunk=chunk_id,
+                    untouch=untouch_level, occupancy=len(self.buffer),
+                )
 
     # --- prefetch decision ----------------------------------------------------
 
     def pages_to_migrate(
-        self, vpn: int, memory_full: bool, skip: Callable[[int], bool]
+        self, vpn: int, memory_full: bool, skip: Callable[[int], bool],
+        time: int = 0,
     ) -> List[int]:
         ppc = self.ctx.pages_per_chunk
         chunk_id = vpn // ppc
@@ -136,6 +158,7 @@ class PatternAwarePrefetcher(Prefetcher):
             if first_lookup:
                 entry.first_matched = True
             stats.pattern_hits += 1
+            self._m_hits.inc()
             base = chunk_id * ppc
             pages = [] if skip(vpn) else [vpn]
             for i in range(ppc):
@@ -143,10 +166,27 @@ class PatternAwarePrefetcher(Prefetcher):
                 if p != vpn and entry.matches(i) and not skip(p):
                     pages.append(p)
             stats.pattern_prefetches += max(0, len(pages) - 1)
+            if self._trace.enabled:
+                self._trace.emit(
+                    "pattern_hit", time, chunk=chunk_id, page=page_index,
+                    pages=len(pages),
+                )
             return pages
 
         # Mismatch: whole chunk, then apply the deletion scheme.
         stats.pattern_mismatches += 1
+        self._m_mismatches.inc()
+        deletions_before = self.buffer.deletions
         self.buffer.handle_mismatch(entry)
         stats.pattern_deletions = self.buffer.deletions
+        deleted = self.buffer.deletions > deletions_before
+        if deleted:
+            self._m_deletions.inc()
+            self._g_occupancy.set(len(self.buffer))
+        if self._trace.enabled:
+            self._trace.emit(
+                "pattern_mismatch", time, chunk=chunk_id, page=page_index,
+            )
+            if deleted:
+                self._trace.emit("pattern_delete", time, chunk=chunk_id)
         return self._chunk_pages(vpn, skip)

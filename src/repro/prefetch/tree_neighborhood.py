@@ -39,7 +39,8 @@ class TreeNeighborhoodPrefetcher(Prefetcher):
         self.name = f"tree/{on_full}"
 
     def pages_to_migrate(
-        self, vpn: int, memory_full: bool, skip: Callable[[int], bool]
+        self, vpn: int, memory_full: bool, skip: Callable[[int], bool],
+        time: int = 0,
     ) -> List[int]:
         if memory_full and self.on_full == "stop":
             return [] if skip(vpn) else [vpn]

@@ -184,9 +184,8 @@ class TestForwardDistanceAdjustment:
         start = policy.forward_distance
         policy.on_chunk_evicted(evicted_entry(100, 0), 0)
         # Three wrong evictions (W=3) beats bucket(0)=0.
-        for cid in (100,): pass
-        policy._evicted_buffer.extend([7, 8, 9])
         for cid in (7, 8, 9):
+            policy.on_chunk_evicted(evicted_entry(cid, 0), 0)
             policy.on_fault(cid * 16, cid, 0)
         end_interval(policy)
         assert policy.forward_distance == start + 3
@@ -195,7 +194,7 @@ class TestForwardDistanceAdjustment:
         policy = self._policy()
         start = policy.forward_distance
         policy.on_chunk_evicted(evicted_entry(100, 12), 0)  # bucket 2
-        policy._evicted_buffer.append(7)
+        policy.on_chunk_evicted(evicted_entry(7, 0), 0)
         policy.on_fault(7 * 16, 7, 0)  # W = 1
         end_interval(policy)
         assert policy.forward_distance == start + 2  # max(2, 1), not 3
@@ -206,6 +205,31 @@ class TestForwardDistanceAdjustment:
         policy.on_chunk_evicted(evicted_entry(100, 12), 0)
         end_interval(policy)
         assert policy.forward_distance == 33
+
+    def test_adjustment_clamps_at_t3(self):
+        # Regression: the guard only checked distance < T3 *before* adding
+        # the bump, so a distance of T3-1 plus a bump of 4 overshot the
+        # paper's limit by up to 4.  The bump must clamp at T3 exactly.
+        policy = self._policy()
+        policy.forward_distance = 31  # T3 - 1: the guard passes
+        # Interval untouch total 16 + 9 = 25 -> bucket(25) = 4.
+        policy.on_chunk_evicted(evicted_entry(100, 16), 0)
+        policy.on_chunk_evicted(evicted_entry(101, 9), 0)
+        end_interval(policy)
+        assert policy.forward_distance == 32  # clamped at T3, not 35
+        # The recorded history reports the corrected (clamped) value too.
+        assert policy.ctx.stats.forward_distance_history[-1] == 32
+
+    def test_clamped_distance_freezes_afterwards(self):
+        policy = self._policy()
+        policy.forward_distance = 31
+        policy.on_chunk_evicted(evicted_entry(100, 16), 0)
+        policy.on_chunk_evicted(evicted_entry(101, 9), 0)
+        end_interval(policy, index=0)
+        policy.on_chunk_evicted(evicted_entry(102, 16), 0)
+        policy.on_chunk_evicted(evicted_entry(103, 9), 0)
+        end_interval(policy, index=1)  # distance == T3: guard now blocks
+        assert policy.forward_distance == 32
 
     def test_adjust_disabled_flag(self):
         policy = self._policy(adjust_enabled=False)
@@ -300,6 +324,79 @@ class TestSelection:
         policy.on_memory_full(0)
         policy.strategy = "lru"
         assert policy.select_victims(16, 0)[0].chunk_id == 1
+
+
+class _DequeScanMHPE(MHPEPolicy):
+    """Reference implementation: the pre-optimisation O(n) deque membership
+    scan on every fault.  Kept only as the oracle for the differential test
+    below — behaviour must match the production count-mirror exactly."""
+
+    def on_fault(self, vpn, chunk_id, time):
+        if chunk_id in self._evicted_buffer:  # O(n) scan
+            try:
+                self._evicted_buffer.remove(chunk_id)
+            except ValueError:  # pragma: no cover
+                pass
+            self._wrong_this_interval += 1
+            self._wrong_chunks.add(chunk_id)
+            self.ctx.stats.wrong_evictions += 1
+
+
+class TestEvictedBufferMirror:
+    """The O(1) count mirror must be observationally identical to the O(n)
+    deque scan it replaced."""
+
+    def _drive(self, policy_cls, seed):
+        import random
+
+        policy = policy_cls()
+        _, stats, _ = attach_policy(policy)
+        populate(policy, list(range(40)))
+        policy.on_memory_full(0)
+        rng = random.Random(seed)
+        observations = []
+        interval = 0
+        for step in range(600):
+            roll = rng.random()
+            cid = rng.randrange(60)
+            if roll < 0.45:
+                policy.on_chunk_evicted(evicted_entry(cid, rng.randrange(17)), step)
+            elif roll < 0.9:
+                policy.on_fault(cid * 16 + rng.randrange(16), cid, step)
+            else:
+                end_interval(policy, index=interval, time=step)
+                interval += 1
+            observations.append(
+                (stats.wrong_evictions, policy.forward_distance,
+                 policy.strategy, sorted(policy._evicted_buffer))
+            )
+        return observations
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_differential_wrong_eviction_parity(self, seed):
+        assert self._drive(MHPEPolicy, seed) == self._drive(_DequeScanMHPE, seed)
+
+    def test_mirror_tracks_silent_fifo_drop(self):
+        # deque(maxlen=8).append silently drops the head; the mirror must
+        # forget that chunk too, or stale counts would flag false wrongs.
+        policy = MHPEPolicy()
+        _, stats, _ = attach_policy(policy)
+        populate(policy, list(range(8)))
+        policy.on_memory_full(0)
+        for cid in range(100, 109):  # 9 evictions into a length-8 buffer
+            policy.on_chunk_evicted(evicted_entry(cid, 0), 0)
+        policy.on_fault(100 * 16, 100, 0)  # dropped: must not count
+        assert stats.wrong_evictions == 0
+        assert policy._evicted_counts.get(100) is None
+
+    def test_mirror_rebuilt_on_memory_full_resize(self):
+        policy = MHPEPolicy()
+        attach_policy(policy)
+        populate(policy, list(range(200)))
+        for cid in (300, 301, 301):
+            policy.on_chunk_evicted(evicted_entry(cid, 0), 0)
+        policy.on_memory_full(0)  # buffer resized to maxlen 24
+        assert policy._evicted_counts == {300: 1, 301: 2}
 
 
 class TestRecencyTracking:

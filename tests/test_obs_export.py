@@ -1,0 +1,163 @@
+"""Trace exporters (repro.obs.export)."""
+
+import json
+
+from repro.obs import (
+    INTERVAL_COLUMNS,
+    TraceEvent,
+    chrome_trace,
+    interval_rows,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_intervals,
+    write_jsonl,
+)
+
+
+def _events():
+    return [
+        TraceEvent(0, "run_start", {"label": "unit"}),
+        TraceEvent(10, "fault", {"vpn": 3, "sm": 0}),
+        TraceEvent(10, "migration", {"chunk": 0, "pages": 16, "dur": 140}),
+        TraceEvent(150, "forward_distance", {"value": 4, "reason": "initial"}),
+        TraceEvent(
+            200,
+            "interval",
+            {
+                "index": 0,
+                "strategy": "mru",
+                "forward_distance": 4,
+                "untouch_level": 7,
+                "wrong_evictions": 1,
+                "faults": 12,
+                "chunks_evicted": 2,
+                "pattern_occupancy": 3,
+                "bytes_h2d": 65536,
+                "bytes_d2h": 4096,
+            },
+        ),
+        TraceEvent(250, "run_end", {"crashed": False}),
+    ]
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = write_jsonl(_events(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(_events())
+        first = json.loads(lines[0])
+        assert first == {"time": 0, "kind": "run_start", "args": {"label": "unit"}}
+
+    def test_run_label_preserved(self, tmp_path):
+        events = [TraceEvent(1, "fault", {"vpn": 1}, run="r1")]
+        path = write_jsonl(events, tmp_path / "t.jsonl")
+        assert json.loads(path.read_text())["run"] == "r1"
+
+
+class TestChromeTrace:
+    def test_generated_trace_validates(self):
+        assert validate_chrome_trace(chrome_trace(_events())) == []
+
+    def test_process_and_thread_metadata(self):
+        payload = chrome_trace(_events())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert names == {"process_name", "thread_name"}
+        lanes = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert lanes == {"run", "gmmu", "policy", "prefetch", "pcie"}
+
+    def test_migration_becomes_duration_slice(self):
+        payload = chrome_trace(_events(), clock_hz=1e6)  # 1 cycle == 1 us
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["ts"] == 10.0
+        assert slices[0]["dur"] == 140.0
+        assert "dur" not in slices[0]["args"]
+
+    def test_forward_distance_becomes_counter(self):
+        payload = chrome_trace(_events())
+        counters = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "forward_distance"
+        ]
+        assert counters and counters[0]["args"] == {"forward_distance": 4}
+
+    def test_interval_emits_counter_tracks(self):
+        payload = chrome_trace(_events())
+        counter_names = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "C"
+        }
+        assert {"untouch_level", "wrong_evictions", "pattern_occupancy"} <= counter_names
+
+    def test_runs_map_to_pids_in_first_appearance_order(self):
+        events = [
+            TraceEvent(0, "fault", {}, run="b"),
+            TraceEvent(1, "fault", {}, run="a"),
+            TraceEvent(2, "fault", {}, run="b"),
+        ]
+        payload = chrome_trace(events)
+        procs = {
+            e["args"]["name"]: e["pid"]
+            for e in payload["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert procs == {"b": 1, "a": 2}
+
+    def test_write_validates_and_is_deterministic(self, tmp_path):
+        p1 = write_chrome_trace(_events(), tmp_path / "a.json")
+        p2 = write_chrome_trace(_events(), tmp_path / "b.json")
+        assert p1.read_bytes() == p2.read_bytes()
+        assert validate_chrome_trace(json.loads(p1.read_text())) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+    def test_rejects_bad_phase(self):
+        payload = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("phase" in e for e in validate_chrome_trace(payload))
+
+    def test_rejects_missing_dur_on_slice(self):
+        payload = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("dur" in e for e in validate_chrome_trace(payload))
+
+    def test_rejects_negative_ts(self):
+        payload = {"traceEvents": [{"name": "x", "ph": "i", "s": "t", "pid": 1, "tid": 1, "ts": -5}]}
+        assert any("ts" in e for e in validate_chrome_trace(payload))
+
+    def test_rejects_non_integer_pid(self):
+        payload = {"traceEvents": [{"name": "x", "ph": "i", "pid": "p", "tid": 1, "ts": 0}]}
+        assert any("pid" in e for e in validate_chrome_trace(payload))
+
+    def test_rejects_bad_instant_scope(self):
+        payload = {"traceEvents": [{"name": "x", "ph": "i", "s": "q", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("scope" in e for e in validate_chrome_trace(payload))
+
+
+class TestIntervals:
+    def test_rows_follow_column_order(self):
+        rows = interval_rows(_events())
+        assert len(rows) == 1
+        row = rows[0]
+        assert set(INTERVAL_COLUMNS) == set(row)
+        assert row["forward_distance"] == 4
+        assert row["untouch_level"] == 7
+        assert row["strategy"] == "mru"
+        assert row["pattern_occupancy"] == 3
+        assert row["end_time"] == 200
+
+    def test_missing_telemetry_renders_empty(self):
+        rows = interval_rows([TraceEvent(5, "interval", {"index": 0})])
+        assert rows[0]["forward_distance"] == ""
+
+    def test_tsv_roundtrip(self, tmp_path):
+        path = write_intervals(_events(), tmp_path / "intervals.tsv")
+        lines = path.read_text().splitlines()
+        assert lines[0].split("\t") == list(INTERVAL_COLUMNS)
+        cells = dict(zip(INTERVAL_COLUMNS, lines[1].split("\t")))
+        assert cells["strategy"] == "mru"
+        assert cells["bytes_h2d"] == "65536"

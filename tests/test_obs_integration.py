@@ -1,0 +1,189 @@
+"""Observability end-to-end invariants.
+
+The layer's two hard promises, enforced here:
+
+* **invisible when off AND on** — a traced run returns a result
+  byte-identical (canonical cache serialization) to the untraced run of the
+  same spec, and never reads or writes either cache layer;
+* **deterministic when on** — the same traced run always yields the same
+  event stream, and a multi-run merged trace is identical however the batch
+  was scheduled (serial, pool, any worker count).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig, SMConfig, TranslationConfig
+from repro.engine.simulator import Simulator
+from repro.harness import cache as cache_mod
+from repro.harness.baselines import build_setup
+from repro.harness.cache import serialize_result, spec_fingerprint
+from repro.harness.experiment import RunSpec, clear_cache, run_matrix, run_one
+from repro.harness.parallel import ParallelRunner
+from repro.obs import Observability
+
+from conftest import make_simple_workload
+
+FAST = SimConfig(sm=SMConfig(num_sms=4))
+NO_XLAT = SimConfig(sm=SMConfig(num_sms=4), translation=TranslationConfig(enabled=False))
+
+SPEC = RunSpec("NW", "cppe", 0.5, scale=0.25)
+
+
+def event_payload(events):
+    """Comparable view of a trace (args dicts made order-insensitive)."""
+    return [(e.run, e.time, e.kind, sorted(e.args.items())) for e in events]
+
+
+class TestBitIdentical:
+    def test_traced_equals_untraced_serialization(self):
+        untraced = run_one(SPEC, config=FAST, use_cache=False)
+        obs = Observability.enabled_()
+        traced = run_one(SPEC, config=FAST, obs=obs)
+        assert serialize_result(traced) == serialize_result(untraced)
+        assert len(obs.tracer.events) > 0  # the trace actually recorded
+
+    def test_cache_key_ignores_observability(self):
+        # The fingerprint is a pure function of (spec, config): there is no
+        # obs parameter to vary, and a traced session leaves the key alone.
+        before = spec_fingerprint(SPEC, FAST)
+        run_one(SPEC, config=FAST, obs=Observability.enabled_())
+        assert spec_fingerprint(SPEC, FAST) == before
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        footprint=st.sampled_from([128, 256]),
+        setup=st.sampled_from(["cppe", "baseline"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_traced_invariance_property(self, footprint, setup, seed):
+        rng = np.random.default_rng(seed)
+        accesses = rng.integers(0, footprint, size=footprint * 3, dtype=np.int64)
+
+        def simulate(obs=None):
+            policy, prefetcher = build_setup(setup)
+            return Simulator(
+                make_simple_workload(footprint, accesses=accesses),
+                policy=policy,
+                prefetcher=prefetcher,
+                oversubscription=0.5,
+                config=NO_XLAT,
+                obs=obs,
+            ).run()
+
+        untraced = simulate()
+        traced = simulate(obs=Observability.enabled_())
+        assert serialize_result(traced) == serialize_result(untraced)
+
+
+class TestCacheBypass:
+    def test_traced_run_touches_neither_cache_layer(self):
+        active = cache_mod.get_active_cache()
+        run_one(SPEC, config=FAST, obs=Observability.enabled_())
+        assert active.stores == 0 and active.hits == 0
+        # An untraced re-run simulates fresh (nothing was memoised) and only
+        # then populates the caches.
+        run_one(SPEC, config=FAST)
+        assert active.stores == 1
+
+    def test_traced_run_ignores_poisoned_cache(self):
+        # Seed the cache with a different spec's result under this key: the
+        # traced run must simulate live, not serve the cached object.
+        active = cache_mod.get_active_cache()
+        wrong = run_one(RunSpec("HIS", "baseline", 0.5, scale=0.25), config=FAST,
+                        use_cache=False)
+        active.put(SPEC, FAST, wrong)
+        traced = run_one(SPEC, config=FAST, obs=Observability.enabled_())
+        assert traced.workload == "NW"
+
+
+class TestDeterministicTrace:
+    def test_same_run_same_trace(self):
+        first = Observability.enabled_()
+        second = Observability.enabled_()
+        run_one(SPEC, config=FAST, obs=first)
+        run_one(SPEC, config=FAST, obs=second)
+        assert event_payload(first.tracer.events) == event_payload(second.tracer.events)
+        assert first.metrics.snapshot() == second.metrics.snapshot()
+
+    def test_merged_trace_independent_of_scheduling(self):
+        specs = [
+            RunSpec("NW", "cppe", 0.5, scale=0.25),
+            RunSpec("HIS", "baseline", 0.5, scale=0.25),
+            RunSpec("STN", "cppe", 0.75, scale=0.25),
+        ]
+
+        def merged(jobs):
+            clear_cache(disk=False)
+            obs = Observability.enabled_()
+            ParallelRunner(jobs=jobs, cache=None).run(specs, config=FAST, obs=obs)
+            return event_payload(obs.tracer.events), obs.metrics.snapshot()
+
+        serial_events, serial_metrics = merged(jobs=1)
+        pool_events, pool_metrics = merged(jobs=2)
+        assert pool_events == serial_events
+        assert pool_metrics == serial_metrics
+        # Events arrive grouped in input-spec order, tagged per run.
+        runs = [e[0] for e in serial_events]
+        assert runs == sorted(runs, key=runs.index)
+        assert runs[0].startswith("NW@50%") and runs[-1].startswith("STN@75%")
+
+    def test_run_matrix_traced_results_match_untraced(self):
+        specs = [SPEC, RunSpec("HIS", "baseline", 0.5, scale=0.25)]
+        plain = run_matrix(specs, config=FAST, cache=None)
+        clear_cache(disk=False)
+        obs = Observability.enabled_()
+        traced = run_matrix(specs, config=FAST, cache=None, jobs=2, obs=obs)
+        assert set(traced) == set(plain)
+        for key in plain:
+            assert serialize_result(traced[key]) == serialize_result(plain[key])
+        assert obs.tracer.of_kind("run_start")
+
+
+class TestTraceContent:
+    def _traced(self, spec=SPEC):
+        obs = Observability.enabled_()
+        result = run_one(spec, config=FAST, obs=obs)
+        return result, obs
+
+    def test_run_bracketed(self):
+        _, obs = self._traced()
+        events = obs.tracer.events
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+        assert events[-1].args["crashed"] is False
+
+    def test_interval_telemetry_complete(self):
+        _, obs = self._traced()
+        intervals = obs.tracer.of_kind("interval")
+        assert intervals
+        required = {
+            "index", "strategy", "forward_distance", "untouch_level",
+            "wrong_evictions", "faults", "chunks_evicted",
+            "pattern_occupancy", "bytes_h2d", "bytes_d2h",
+        }
+        for event in intervals:
+            assert required <= set(event.args)
+
+    def test_forward_distance_never_exceeds_t3(self):
+        # The clamp bugfix: every emitted forward_distance value respects T3.
+        _, obs = self._traced()
+        t3 = SimConfig().mhpe.t3
+        values = [e.args["value"] for e in obs.tracer.of_kind("forward_distance")]
+        assert values and all(v <= t3 for v in values)
+        intervals = [e.args["forward_distance"] for e in obs.tracer.of_kind("interval")]
+        assert all(v <= t3 for v in intervals)
+
+    def test_metrics_mirror_stats(self):
+        # run_one absorbs the worker registry under the spec label, so the
+        # merged names are "<label>/<metric>".
+        result, obs = self._traced()
+
+        def value(name):
+            return obs.metrics.value(f"NW@50%/cppe/x0.25/{name}")
+
+        assert value("gmmu.far_faults") == result.stats.far_faults
+        assert value("gmmu.chunks_evicted") == result.stats.chunks_evicted
+        assert value("pcie.bytes_h2d") == result.stats.bytes_host_to_device
+        assert value("stats.total_cycles") == result.stats.total_cycles

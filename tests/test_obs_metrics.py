@@ -1,0 +1,130 @@
+"""Metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+    def test_histogram_buckets(self):
+        h = Histogram("x", bounds=(1, 4, 16))
+        for v in (1, 2, 5, 100):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == 108
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=(4, 1))
+
+    def test_histogram_snapshot_shape(self):
+        h = Histogram("x", bounds=(2,))
+        h.observe(1)
+        snap = h.snapshot_value()
+        assert snap == {"bounds": [2], "buckets": [1, 0], "count": 1, "total": 1}
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits")
+        b = reg.counter("hits")
+        assert a is b
+        a.inc()
+        assert reg.value("hits") == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_value_reads_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(9)
+        assert reg.value("c") == 3
+        assert reg.value("g") == 9
+        assert reg.value("missing", default=-1) == -1
+
+    def test_value_ignores_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1)
+        assert reg.value("h", default=42) == 42
+
+    def test_snapshot_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zebra").inc()
+        reg.gauge("apple").set(1)
+        snap = reg.snapshot()
+        assert list(snap) == ["apple", "zebra"]
+        assert snap["zebra"] == {"kind": "counter", "value": 1}
+
+    def test_absorb_prefixes_and_freezes(self):
+        worker = MetricsRegistry()
+        worker.counter("faults").inc(5)
+        worker.histogram("batch", bounds=(2,)).observe(1)
+        parent = MetricsRegistry()
+        parent.absorb(worker.snapshot(), prefix="run-a")
+        assert parent.value("run-a/faults") == 5
+        frozen = parent.snapshot()["run-a/batch"]["value"]
+        assert frozen == {"bounds": [2], "buckets": [1, 0], "count": 1, "total": 1}
+
+    def test_absorb_roundtrip_deterministic(self):
+        worker = MetricsRegistry()
+        worker.counter("a").inc()
+        worker.gauge("b").set(2)
+        p1, p2 = MetricsRegistry(), MetricsRegistry()
+        p1.absorb(worker.snapshot(), prefix="r")
+        p2.absorb(worker.snapshot(), prefix="r")
+        assert p1.snapshot() == p2.snapshot()
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_hands_out_shared_noops(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.gauge("a") is reg.gauge("b")
+        assert reg.histogram("a") is reg.histogram("b")
+
+    def test_updates_are_noops(self):
+        reg = NullRegistry()
+        reg.counter("c").inc(100)
+        reg.gauge("g").set(100)
+        reg.histogram("h").observe(100)
+        assert reg.counter("c").value == 0
+        assert reg.gauge("g").value == 0
+        assert reg.histogram("h").count == 0
+
+    def test_snapshot_empty_and_value_default(self):
+        reg = NullRegistry()
+        reg.counter("c").inc()
+        assert reg.snapshot() == {}
+        assert reg.value("c", default=7) == 7

@@ -1,0 +1,107 @@
+"""Event tracer and observability handle (repro.obs.tracer / .core)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    DISABLED,
+    EVENT_KINDS,
+    NullTracer,
+    Observability,
+    ObsConfig,
+    TraceEvent,
+    Tracer,
+    make_observability,
+)
+
+
+class TestTracer:
+    def test_emit_records_event(self):
+        tr = Tracer()
+        tr.emit("fault", 100, vpn=7, sm=1)
+        assert len(tr) == 1
+        event = tr.events[0]
+        assert (event.time, event.kind) == (100, "fault")
+        assert event.args == {"vpn": 7, "sm": 1}
+        assert event.run == ""
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            Tracer().emit("no_such_kind", 0)
+
+    def test_every_declared_kind_emittable(self):
+        tr = Tracer()
+        for kind in EVENT_KINDS:
+            tr.emit(kind, 0)
+        assert len(tr) == len(EVENT_KINDS)
+
+    def test_extend_tags_run_label(self):
+        worker = Tracer()
+        worker.emit("fault", 5, vpn=1)
+        parent = Tracer()
+        parent.extend(worker.events, run="NW@50%/cppe")
+        assert parent.events[0].run == "NW@50%/cppe"
+        assert worker.events[0].run == ""  # source untouched
+
+    def test_of_kind_and_counts(self):
+        tr = Tracer()
+        tr.emit("fault", 0)
+        tr.emit("eviction", 1)
+        tr.emit("fault", 2)
+        assert len(tr.of_kind("fault")) == 2
+        assert tr.kind_counts() == {"eviction": 1, "fault": 2}
+
+    def test_to_json_dict_sorted_and_minimal(self):
+        event = TraceEvent(time=3, kind="pcie", args={"z": 1, "a": 2})
+        assert list(event.to_json_dict()["args"]) == ["a", "z"]
+        assert "run" not in event.to_json_dict()
+        event.run = "r"
+        assert event.to_json_dict()["run"] == "r"
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        tr = NullTracer()
+        assert tr.enabled is False
+        tr.emit("fault", 0, vpn=1)
+        assert len(tr) == 0
+
+
+class TestObservability:
+    def test_disabled_singleton(self):
+        assert DISABLED.enabled is False
+        assert DISABLED.tracer.enabled is False
+        assert DISABLED.metrics.enabled is False
+
+    def test_enabled_factory(self):
+        obs = Observability.enabled_()
+        assert obs.enabled
+        assert obs.tracer.enabled and obs.metrics.enabled
+
+    def test_make_observability_none_is_disabled(self):
+        assert make_observability(None) is DISABLED
+        assert make_observability(ObsConfig(trace=False, metrics=False)) is DISABLED
+
+    def test_make_observability_partial(self):
+        obs = make_observability(ObsConfig(trace=True, metrics=False))
+        assert obs.tracer.enabled and not obs.metrics.enabled
+        obs = make_observability(ObsConfig(trace=False, metrics=True))
+        assert not obs.tracer.enabled and obs.metrics.enabled
+
+    def test_config_roundtrip(self):
+        obs = Observability.enabled_()
+        assert obs.config() == ObsConfig(trace=True, metrics=True)
+
+    def test_obsconfig_picklable(self):
+        cfg = ObsConfig(trace=True, metrics=False)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    def test_absorb_merges_both_halves(self):
+        worker = Observability.enabled_()
+        worker.tracer.emit("fault", 1, vpn=2)
+        worker.metrics.counter("faults").inc()
+        parent = Observability.enabled_()
+        parent.absorb("run-x", worker.tracer.events, worker.metrics.snapshot())
+        assert parent.tracer.events[0].run == "run-x"
+        assert parent.metrics.value("run-x/faults") == 1

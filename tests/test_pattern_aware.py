@@ -48,6 +48,29 @@ class TestPatternBuffer:
         buf.record(3, EVEN_MASK, 8)
         assert 1 not in buf and 2 in buf and 3 in buf
 
+    def test_re_record_moves_to_fifo_tail(self):
+        # Regression: re-recording an already-present chunk must refresh its
+        # FIFO position.  Plain dict reassignment kept the original
+        # insertion slot, so the *freshest* pattern was the next evicted.
+        buf = PatternBuffer(PatternBufferConfig(max_entries=2))
+        buf.record(1, EVEN_MASK, 8)
+        buf.record(2, EVEN_MASK, 8)
+        buf.record(1, 0x3333, 8)  # refresh: chunk 1 is now the newest
+        buf.record(3, EVEN_MASK, 8)  # at capacity: oldest (2) must go
+        assert 2 not in buf
+        assert 1 in buf and 3 in buf
+        assert buf.get(1).touched_mask == 0x3333
+
+    def test_re_record_resets_lookup_state(self):
+        buf = PatternBuffer(PatternBufferConfig())
+        buf.record(1, EVEN_MASK, 8)
+        entry = buf.get(1)
+        entry.looked_up = True
+        entry.first_matched = True
+        buf.record(1, EVEN_MASK, 8)
+        refreshed = buf.get(1)
+        assert not refreshed.looked_up and not refreshed.first_matched
+
     def test_peak_tracking(self):
         buf = PatternBuffer(PatternBufferConfig())
         buf.record(1, EVEN_MASK, 8)
