@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=1.0,
                        help="footprint scale factor")
     run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument(
+        "--instances", type=int, default=1,
+        help="shard the workload across N independent MemorySystem "
+             "instances on one event queue (multi-GPU smoke scenario)",
+    )
     run_p.add_argument("--json", action="store_true",
                        help="emit the stats summary as JSON")
     run_p.add_argument(
@@ -213,7 +218,8 @@ def _cmd_list() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     rate = None if args.rate >= 1.0 else args.rate
     result = run_one(
-        RunSpec(args.app, args.setup, rate, scale=args.scale, seed=args.seed)
+        RunSpec(args.app, args.setup, rate, scale=args.scale, seed=args.seed,
+                instances=args.instances)
     )
     if args.json:
         payload = {

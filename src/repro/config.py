@@ -15,6 +15,7 @@ CPU-GPU interconnect  16 GB/s, 20 us page fault service time
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
@@ -274,3 +275,16 @@ class SimConfig:
     def with_(self, **kwargs: Any) -> "SimConfig":
         """Return a copy with the given top-level fields replaced."""
         return replace(self, **kwargs)
+
+    def make_rng(self) -> random.Random:
+        """The simulation's seeded mechanism-layer RNG stream.
+
+        Every stage of the memory system draws from this one injected
+        instance (the seed is XOR-folded so policy-side streams seeded
+        directly from ``seed`` stay decorrelated).  Constructing RNGs
+        anywhere inside ``repro.memsim`` instead of here is a lint
+        finding (REPRO106): the seed must flow from the config — and
+        therefore through the cache content hash — not from ad-hoc
+        constants scattered through mechanism code.
+        """
+        return random.Random(self.seed ^ 0x5EED)

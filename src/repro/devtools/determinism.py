@@ -23,6 +23,7 @@ __all__ = [
     "EnvReadRule",
     "SetOrderRule",
     "IdKeyRule",
+    "MemsimRngConstructionRule",
 ]
 
 #: ``random.<ctor>`` calls that are fine: they build *seedable instances*
@@ -222,3 +223,45 @@ class IdKeyRule(_SimulationOnlyRule):
                 and len(node.args) == 1
             ):
                 yield ctx.finding(node, self, "call to builtin `id()`")
+
+
+def _is_memsim_module(module: str) -> bool:
+    return module == "repro.memsim" or module.startswith("repro.memsim.")
+
+
+@register
+class MemsimRngConstructionRule(FileRule):
+    rule_id = "REPRO106"
+    title = "ad-hoc RNG construction in memsim"
+    rationale = (
+        "repro.memsim has exactly one randomness source: the seeded stream "
+        "SimConfig.make_rng() derives from config.seed.  A locally "
+        "constructed random.Random(...) / default_rng(...) forks a second "
+        "stream whose seed derivation is invisible to the config hash, so "
+        "two code paths can silently consume different (or worse, the same) "
+        "streams and break the determinism contract the result cache "
+        "depends on."
+    )
+    fix_hint = "take the stream from config.make_rng() instead"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _is_memsim_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func, ctx.imports)
+            if target is None:
+                continue
+            if target.startswith("random."):
+                name = target.split(".", 1)[1]
+                if name in _SEEDED_RANDOM_CTORS:
+                    yield ctx.finding(
+                        node, self, f"direct construction of `{target}`"
+                    )
+            elif target.startswith("numpy.random."):
+                name = target.rsplit(".", 1)[1]
+                if name in _SEEDED_NUMPY_CTORS:
+                    yield ctx.finding(
+                        node, self, f"direct construction of `{target}`"
+                    )

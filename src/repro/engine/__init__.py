@@ -4,6 +4,7 @@ from .events import Event, EventQueue
 from .stats import IntervalRecord, SimStats
 from .sm import StreamingMultiprocessor
 from .simulator import Simulator, SimulationResult
+from .multi import ShardedSimulator
 
 __all__ = [
     "Event",
@@ -13,4 +14,5 @@ __all__ = [
     "StreamingMultiprocessor",
     "Simulator",
     "SimulationResult",
+    "ShardedSimulator",
 ]

@@ -20,8 +20,8 @@ from typing import Optional
 
 from ..config import SimConfig
 from ..errors import SimulationError, ThrashingCrash
-from ..memsim.gmmu import GMMU
 from ..memsim.page_table import PageTable
+from ..memsim.system import MemorySystem
 from ..obs import DISABLED, Observability
 from ..policies.base import EvictionPolicy
 from ..policies.lru import LRUPolicy
@@ -69,7 +69,7 @@ class SimulationResult:
                 "speedup undefined for crashed runs "
                 f"(self.crashed={self.crashed}, baseline.crashed={baseline.crashed})"
             )
-        if self.total_cycles == 0:
+        if self.total_cycles == 0 or baseline.total_cycles == 0:
             raise SimulationError("run has zero cycles; was it executed?")
         return baseline.total_cycles / self.total_cycles
 
@@ -115,7 +115,7 @@ class Simulator:
             self.translation = TranslationHierarchy(
                 self.config.translation, self.config.sm.num_sms, page_table, self.stats
             )
-        self.gmmu = GMMU(
+        self.memory = MemorySystem(
             config=self.config,
             capacity_frames=self.capacity,
             events=self.events,
@@ -126,9 +126,12 @@ class Simulator:
             footprint_pages=workload.footprint_pages,
             obs=self.obs,
         )
+        #: Back-compat alias for the pre-refactor attribute name.
+        self.gmmu = self.memory
         if self.translation is None:
-            # GMMU built its own page table; keep a single source of truth.
-            self.gmmu.page_table = page_table
+            # The memory system built its own page table; keep a single
+            # source of truth (the setter rebinds every stage).
+            self.memory.page_table = page_table
 
         self._finished_sms = 0
         self.sms = []

@@ -83,11 +83,22 @@ def spec_fingerprint(
     config: Optional[SimConfig] = None,
     schema_version: int = CACHE_SCHEMA_VERSION,
 ) -> str:
-    """Cache key: sha256 over RunSpec fields + SimConfig fields + schema."""
+    """Cache key: sha256 over RunSpec fields + SimConfig fields + schema.
+
+    Whole-object hashing via ``dataclasses.asdict`` (REPRO201): every spec
+    field reaches the hash by construction.  The one refinement: extension
+    fields at their backwards-compatible default are elided, so adding a
+    scenario knob (``instances=1`` — the classic single-GPU run) does not
+    orphan every previously cached entry.  Any non-default value still
+    enters the payload and changes the key.
+    """
     effective = config if config is not None else SimConfig()
+    spec_fields = dataclasses.asdict(spec)
+    if spec_fields.get("instances") == 1:
+        del spec_fields["instances"]
     payload = {
         "schema": schema_version,
-        "spec": dataclasses.asdict(spec),
+        "spec": spec_fields,
         "config": dataclasses.asdict(effective),
     }
     return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()

@@ -40,7 +40,9 @@ class ChunkEntry:
         "in_chain",
     )
 
-    def __init__(self, chunk_id: int, interval: int, insert_order: int = 0):
+    def __init__(
+        self, chunk_id: int, interval: int, insert_order: int = 0
+    ) -> None:
         self.chunk_id = chunk_id
         self.resident_mask = 0
         self.touched_mask = 0

@@ -1,0 +1,735 @@
+"""The staged memory-system pipeline (GMMU + host-side UVM runtime).
+
+What used to be one god-object (``memsim.gmmu.GMMU``) is four explicit
+stages behind the :class:`MemorySystem` facade::
+
+    SM far fault
+        │
+    FaultFrontend        intake, duplicate merge into in-flight migrations
+        │ queued
+    MigrationScheduler   batch formation (prefetcher consult), service
+        │                slots, PCIe charging, migration completion
+        ├─► EvictionService   victim selection, unmap + TLB shootdown +
+        │                     writeback, the CPPE coordination hook
+        └─► IntervalClock     64-migrated-pages interval geometry,
+                              per-interval policy telemetry
+
+Stages communicate through narrow seams (the frontend's coverage map, the
+shared :class:`FrameLedger`, the clock's ``current_interval``), never by
+reaching into each other's internals — which is what makes multiple
+:class:`MemorySystem` instances on one event queue (multi-GPU scenarios,
+see ``repro.engine.multi``) expressible.
+
+The decomposition is behavior-preserving: ``tests/test_system_differential.py``
+proves byte-identical results and traces against the pre-refactor monolith.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from ..config import SimConfig, UVMConfig
+from ..engine.events import EventQueue
+from ..engine.stats import IntervalRecord, SimStats
+from ..errors import SimulationError, ThrashingCrash
+from ..obs import DISABLED, Observability
+from ..policies.base import EvictionPolicy, PolicyContext
+from ..prefetch.base import PrefetchContext, Prefetcher
+from ..translation.hierarchy import TranslationHierarchy
+from .chunk_chain import ChunkChain, ChunkEntry
+from .device_memory import DeviceMemory
+from .fault import FarFault, InFlightMigration
+from .page_table import PageTable
+from .pcie import PCIeLink
+
+__all__ = [
+    "FrameLedger",
+    "IntervalClock",
+    "FaultFrontend",
+    "EvictionService",
+    "MigrationScheduler",
+    "MemorySystem",
+]
+
+
+class FrameLedger:
+    """Frame-reservation accounting shared by the scheduler and the evictor.
+
+    The scheduler reserves frames for pages it has put in flight; the
+    eviction service must not count those as free when deciding whether a
+    batch still fits.  This tiny shared object is the only capacity state
+    the two stages exchange.
+    """
+
+    __slots__ = ("_device", "_pages_per_chunk", "reserved")
+
+    def __init__(self, device: DeviceMemory, pages_per_chunk: int) -> None:
+        self._device = device
+        self._pages_per_chunk = pages_per_chunk
+        #: Frames promised to in-flight migrations but not yet allocated.
+        self.reserved = 0
+
+    @property
+    def free_unreserved(self) -> int:
+        """Free frames not already promised to an in-flight migration."""
+        return self._device.free_frames - self.reserved
+
+    @property
+    def memory_full(self) -> bool:
+        """True once a whole chunk no longer fits without eviction."""
+        return self.free_unreserved < self._pages_per_chunk
+
+
+class IntervalClock:
+    """Stage: interval geometry (one interval per 64 migrated pages).
+
+    Counts migrated pages, faults and evictions per interval, and on each
+    boundary builds the :class:`IntervalRecord` that drives the policies'
+    adaptation (Tables III/IV telemetry) — implementing the
+    :class:`repro.policies.base.IntervalSource` protocol policies read.
+    """
+
+    def __init__(
+        self,
+        uvm: UVMConfig,
+        stats: SimStats,
+        policy: EvictionPolicy,
+        pcie: PCIeLink,
+        obs: Observability,
+    ) -> None:
+        self.uvm = uvm
+        self.stats = stats
+        self.policy = policy
+        self.pcie = pcie
+        self.obs = obs
+        self._trace = obs.tracer
+        self._pages_migrated = 0
+        self._interval_index = 0
+        self._interval_faults = 0
+        self._interval_evictions = 0
+
+    @property
+    def current_interval(self) -> int:
+        return self._interval_index
+
+    @property
+    def pages_migrated(self) -> int:
+        return self._pages_migrated
+
+    def note_fault(self) -> None:
+        self._interval_faults += 1
+
+    def note_eviction(self) -> None:
+        self._interval_evictions += 1
+
+    def advance(self, migrated_pages: int, time: int) -> None:
+        """Credit migrated pages; tick every interval boundary crossed.
+
+        A single batch can straddle a boundary (or several), so this loops:
+        each completed interval gets its own record and policy callback.
+        """
+        self._pages_migrated += migrated_pages
+        while self._pages_migrated >= (self._interval_index + 1) * self.uvm.interval_pages:
+            record = IntervalRecord(
+                index=self._interval_index,
+                end_time=time,
+                faults=self._interval_faults,
+                chunks_evicted=self._interval_evictions,
+            )
+            self.policy.on_interval_end(record, time)
+            self.stats.record_interval(record)
+            if self._trace.enabled:
+                # The policy filled the strategy/distance/untouch fields in
+                # ``record`` above; pattern occupancy comes from the metrics
+                # registry (cross-component read, 0 when no pattern buffer).
+                self._trace.emit(
+                    "interval", time,
+                    index=record.index,
+                    strategy=record.strategy,
+                    forward_distance=record.forward_distance,
+                    untouch_level=record.untouch_total,
+                    wrong_evictions=record.wrong_evictions,
+                    faults=record.faults,
+                    chunks_evicted=record.chunks_evicted,
+                    pattern_occupancy=self.obs.metrics.value(
+                        "pattern.occupancy"
+                    ),
+                    bytes_h2d=self.pcie.bytes_to_device,
+                    bytes_d2h=self.pcie.bytes_to_host,
+                )
+            self._interval_index += 1
+            self._interval_faults = 0
+            self._interval_evictions = 0
+
+
+class FaultFrontend:
+    """Stage: far-fault intake and duplicate merging.
+
+    Owns the pending-fault queue and the coverage map (vpn → in-flight
+    migration).  A fault whose page is already on its way merges into that
+    migration (the replayable far-fault hardware of [9]); everything else
+    queues for the scheduler.
+    """
+
+    def __init__(
+        self,
+        uvm: UVMConfig,
+        stats: SimStats,
+        policy: EvictionPolicy,
+        clock: IntervalClock,
+        obs: Observability,
+    ) -> None:
+        self.uvm = uvm
+        self.stats = stats
+        self.policy = policy
+        self.clock = clock
+        self._trace = obs.tracer
+        self.pending: Deque[FarFault] = deque()
+        #: vpn -> the in-flight migration that will install it.
+        self.covered: Dict[int, InFlightMigration] = {}
+        metrics = obs.metrics
+        self._m_faults = metrics.counter("gmmu.far_faults")
+        self._m_merged = metrics.counter("gmmu.merged_faults")
+
+    def covering(self, vpn: int) -> Optional[InFlightMigration]:
+        return self.covered.get(vpn)
+
+    def cover(self, vpn: int, mig: InFlightMigration) -> None:
+        self.covered[vpn] = mig
+
+    def uncover(self, vpn: int) -> None:
+        self.covered.pop(vpn, None)
+
+    def note_merged(self) -> None:
+        """Account one merged (deduplicated) fault."""
+        self.stats.merged_faults += 1
+        self._m_merged.inc()
+
+    def merge(self, fault: FarFault, mig: InFlightMigration) -> None:
+        """Attach ``fault`` to an in-flight migration that covers its page."""
+        mig.attach(fault)
+        self.note_merged()
+
+    def intake(self, fault: FarFault) -> bool:
+        """Accept one far fault; returns True when it was queued (i.e. the
+        scheduler should pump) and False when it merged in flight."""
+        self.stats.far_faults += 1
+        self.clock.note_fault()
+        self._m_faults.inc()
+        ppc = self.uvm.pages_per_chunk
+        self.policy.on_fault(fault.vpn, fault.vpn // ppc, fault.time)
+        if self._trace.enabled:
+            self._trace.emit(
+                "fault", fault.time, chunk=fault.vpn // ppc,
+                **fault.trace_args(),
+            )
+
+        covering = self.covered.get(fault.vpn)
+        if covering is not None:
+            # The page is already on its way: merge.
+            self.merge(fault, covering)
+            return False
+        self.pending.append(fault)
+        return True
+
+
+class EvictionService:
+    """Stage: victim selection and chunk retirement.
+
+    Asks the policy for victims when a batch does not fit, unmaps their
+    pages (TLB shootdown + writeback accounting), and feeds each evicted
+    chunk's touch pattern back to the policy and the prefetcher — the CPPE
+    coordination point (``on_chunk_evicted``).
+    """
+
+    def __init__(
+        self,
+        uvm: UVMConfig,
+        device: DeviceMemory,
+        page_table: PageTable,
+        chain: ChunkChain,
+        pcie: PCIeLink,
+        ledger: FrameLedger,
+        policy: EvictionPolicy,
+        prefetcher: Prefetcher,
+        translation: Optional[TranslationHierarchy],
+        stats: SimStats,
+        clock: IntervalClock,
+        obs: Observability,
+        footprint_pages: Optional[int],
+    ) -> None:
+        self.uvm = uvm
+        self.device = device
+        self.page_table = page_table
+        self.chain = chain
+        self.pcie = pcie
+        self.ledger = ledger
+        self.policy = policy
+        self.prefetcher = prefetcher
+        self.translation = translation
+        self.stats = stats
+        self.clock = clock
+        self._trace = obs.tracer
+        self._memory_full_seen = False
+        self._footprint_pages = footprint_pages
+        self._m_evictions = obs.metrics.counter("gmmu.chunks_evicted")
+
+    def ensure_capacity(self, frames_needed: int, time: int) -> int:
+        """Evict chunks until ``frames_needed`` frames are free.
+
+        Returns the number of victim chunks evicted."""
+        if self.ledger.free_unreserved >= frames_needed:
+            return 0
+        if not self._memory_full_seen:
+            self._memory_full_seen = True
+            if self._trace.enabled:
+                self._trace.emit(
+                    "memory_full", time, chain_length=len(self.chain),
+                    capacity_frames=self.device.capacity,
+                )
+            self.policy.on_memory_full(time)
+        shortfall = frames_needed - self.ledger.free_unreserved
+        victims = self.policy.select_victims(shortfall, time)
+        for entry in victims:
+            self.evict_chunk(entry, time)
+        if self.ledger.free_unreserved < frames_needed:
+            raise SimulationError(
+                f"policy {self.policy.name} freed "
+                f"{self.ledger.free_unreserved} frames of the {frames_needed} "
+                "needed — select_victims violated its contract"
+            )
+        return len(victims)
+
+    def evict_chunk(self, entry: ChunkEntry, time: int) -> None:
+        """Unmap every resident page of ``entry`` and retire its metadata."""
+        ppc = self.uvm.pages_per_chunk
+        base = entry.chunk_id * ppc
+        dirty_pages = 0
+        evicted_pages = 0
+        for i in range(ppc):
+            if not entry.is_resident(i):
+                continue
+            vpn = base + i
+            frame, accessed, dirty = self.page_table.unmap(vpn)
+            self.device.free(frame)
+            if self.translation is not None:
+                self.translation.shootdown(vpn)
+            if dirty:
+                dirty_pages += 1
+            evicted_pages += 1
+            entry.clear_resident(i)
+        # Residency cleared above, so untouch accounting reads the masks as
+        # they stood at unmap time via the snapshot below.
+        self.chain.remove(entry.chunk_id)
+        self.stats.chunks_evicted += 1
+        self.stats.pages_evicted += evicted_pages
+        self.stats.dirty_pages_written_back += dirty_pages
+        self.clock.note_eviction()
+        self._m_evictions.inc()
+        if dirty_pages:
+            # Writebacks ride the duplex link: bytes counted, latency not on
+            # the fault-service critical path (see DESIGN.md).
+            self.pcie.transfer_to_host(dirty_pages, time=time)
+            self.stats.bytes_device_to_host = self.pcie.bytes_to_host
+        # Prefetch accuracy accounting.
+        touched_prefetched = bin(entry.prefetch_mask & entry.touched_mask).count("1")
+        self.stats.prefetched_pages_touched += touched_prefetched
+
+        # Untouch level must reflect what was migrated, so give the policy a
+        # snapshot with residency restored.  Every migrated page is either a
+        # prefetched page (prefetch_mask) or a demand page, and demand pages
+        # are touched on fault replay before any later eviction can run, so
+        # touched|prefetch is exactly the pre-eviction residency.
+        snapshot = ChunkEntry(entry.chunk_id, entry.insert_interval)
+        snapshot.resident_mask = entry.touched_mask | entry.prefetch_mask
+        snapshot.touched_mask = entry.touched_mask
+        snapshot.prefetch_mask = entry.prefetch_mask
+        snapshot.counter = entry.counter
+        if self._trace.enabled:
+            self._trace.emit(
+                "eviction", time, chunk=entry.chunk_id, pages=evicted_pages,
+                dirty=dirty_pages, untouch=snapshot.untouch_level(),
+                strategy=self.policy.current_strategy,
+            )
+        self.policy.on_chunk_evicted(snapshot, time)
+        self.prefetcher.on_chunk_evicted(
+            entry.chunk_id,
+            entry.touched_mask,
+            snapshot.untouch_level(),
+            self.policy.current_strategy,
+            time=time,
+        )
+        self._check_crash_budget()
+
+    def _check_crash_budget(self) -> None:
+        factor = self.uvm.crash_eviction_budget_factor
+        if factor is None or self._footprint_pages is None:
+            return
+        footprint_chunks = max(1, self._footprint_pages // self.uvm.pages_per_chunk)
+        budget = int(factor * footprint_chunks)
+        if self.stats.chunks_evicted > budget:
+            raise ThrashingCrash(self.stats.chunks_evicted, budget)
+
+
+class MigrationScheduler:
+    """Stage: the fault-service loop.
+
+    Runs a (configurably parallel, default serial) set of service slots:
+    each service op consults the prefetcher for the page batch, asks the
+    eviction service to make room, charges the 20 µs service latency plus
+    PCIe transfer time, and — on completion — installs the pages, wakes the
+    merged faults, and credits the interval clock.
+    """
+
+    def __init__(
+        self,
+        uvm: UVMConfig,
+        device: DeviceMemory,
+        page_table: PageTable,
+        chain: ChunkChain,
+        pcie: PCIeLink,
+        events: EventQueue,
+        stats: SimStats,
+        ledger: FrameLedger,
+        frontend: FaultFrontend,
+        evictor: EvictionService,
+        clock: IntervalClock,
+        policy: EvictionPolicy,
+        prefetcher: Prefetcher,
+        obs: Observability,
+    ) -> None:
+        self.uvm = uvm
+        self.device = device
+        self.page_table = page_table
+        self.chain = chain
+        self.pcie = pcie
+        self.events = events
+        self.stats = stats
+        self.ledger = ledger
+        self.frontend = frontend
+        self.evictor = evictor
+        self.clock = clock
+        self.policy = policy
+        self.prefetcher = prefetcher
+        self._trace = obs.tracer
+        self.in_flight: Dict[int, InFlightMigration] = {}  # keyed by mig.token
+        self._next_migration_token = 0
+        self._active_services = 0
+        self._h_batch = obs.metrics.histogram("gmmu.batch_pages")
+
+    # ------------------------------------------------------- service loop
+
+    def pump(self, time: int) -> None:
+        """Fill free service slots from the frontend's pending queue."""
+        while (
+            self._active_services < self.uvm.fault_parallelism
+            and self.frontend.pending
+        ):
+            fault = self.frontend.pending.popleft()
+            if not self.begin_service(fault, time):
+                continue
+
+    def max_batch(self) -> int:
+        """Largest allowed migration batch.
+
+        Clamps aggressive prefetchers (the tree prefetcher can request a
+        whole 2 MB region) to half of device memory: the driver never
+        evicts the working set wholesale to make room for a prefetch.
+        """
+        return max(self.uvm.pages_per_chunk, self.device.capacity // 2)
+
+    def _gather_pages(
+        self, fault: FarFault, in_batch: Set[int]
+    ) -> Optional[List[int]]:
+        """Consult the prefetcher for ``fault``; returns the page batch or
+        None when the fault needs no migration of its own.
+
+        ``in_batch`` holds pages already claimed by the service op being
+        assembled; those are skipped like resident/in-flight pages and, when
+        the demand page itself is among them, the fault simply joins the op.
+        """
+        if self.frontend.covering(fault.vpn) is not None or fault.vpn in in_batch:
+            return None
+        resident = self.page_table.is_resident
+        covered = self.frontend.covered
+        skip: Callable[[int], bool] = (
+            lambda vpn: resident(vpn) or vpn in covered or vpn in in_batch
+        )
+        pages = self.prefetcher.pages_to_migrate(
+            fault.vpn, self.ledger.memory_full, skip, time=fault.time
+        )
+        if not pages or fault.vpn not in pages:
+            raise SimulationError(
+                f"prefetcher {self.prefetcher.name} did not include the "
+                f"demand page {fault.vpn}"
+            )
+        max_batch = self.max_batch()
+        if len(pages) > max_batch:
+            # Prefetchers order the demand page first, so truncation keeps it.
+            pages = pages[:max_batch]
+        return pages
+
+    def begin_service(self, fault: FarFault, time: int) -> bool:
+        """Start one fault-service op.  Returns False if the fault resolved
+        without a new migration (page arrived while it was queued).
+
+        With ``fault_batch_size > 1`` the op drains further pending faults
+        from the buffer, amortising the base service latency across chunks
+        (UVM batch processing; the paper's configuration services one fault
+        group per op).
+        """
+        if self.page_table.is_resident(fault.vpn):
+            fault.on_resolve(time)
+            return False
+        covering = self.frontend.covering(fault.vpn)
+        if covering is not None:
+            self.frontend.merge(fault, covering)
+            return False
+
+        in_batch: Set[int] = set()
+        pages = self._gather_pages(fault, in_batch)
+        assert pages is not None  # neither covered nor in an empty batch
+        batch_faults = [fault]
+        batch_pages: List[int] = list(pages)
+        in_batch.update(pages)
+
+        budget = self.uvm.fault_batch_size - 1
+        max_total = self.max_batch()
+        pending = self.frontend.pending
+        while budget > 0 and pending and len(batch_pages) < max_total:
+            nxt = pending[0]
+            if self.page_table.is_resident(nxt.vpn):
+                pending.popleft()
+                nxt.on_resolve(time)
+                continue
+            extra = self._gather_pages(nxt, in_batch)
+            if extra is None:
+                # Covered by an in-flight migration or by this very batch.
+                pending.popleft()
+                if nxt.vpn in in_batch:
+                    batch_faults.append(nxt)
+                    self.frontend.note_merged()
+                else:
+                    covering = self.frontend.covered[nxt.vpn]
+                    self.frontend.merge(nxt, covering)
+                continue
+            if len(batch_pages) + len(extra) > max_total:
+                break
+            pending.popleft()
+            batch_faults.append(nxt)
+            batch_pages.extend(extra)
+            in_batch.update(extra)
+            budget -= 1
+
+        victims_evicted = self.evictor.ensure_capacity(len(batch_pages), time)
+        self.ledger.reserved += len(batch_pages)
+
+        mig = InFlightMigration(
+            chunk_id=fault.vpn // self.uvm.pages_per_chunk,
+            pages=set(batch_pages),
+            start_time=time,
+            token=self._next_migration_token,
+        )
+        self._next_migration_token += 1
+        for f in batch_faults:
+            mig.attach(f)
+        for vpn in batch_pages:
+            self.frontend.cover(vpn, mig)
+        self.in_flight[mig.token] = mig
+        self._active_services += 1
+
+        self._h_batch.observe(len(batch_pages))
+        transfer = self.pcie.transfer_to_device(len(batch_pages), time=time)
+        latency = (
+            self.uvm.fault_latency_cycles
+            + transfer
+            + victims_evicted * self.uvm.eviction_overhead_cycles
+        )
+        mig.finish_time = time + latency
+        self.stats.fault_service_ops += 1
+        self.stats.bytes_host_to_device = self.pcie.bytes_to_device
+        self.events.schedule(
+            mig.finish_time, lambda t, m=mig: self.complete_migration(m, t)
+        )
+        return True
+
+    # ----------------------------------------------------- migration finish
+
+    def complete_migration(self, mig: InFlightMigration, time: int) -> None:
+        ppc = self.uvm.pages_per_chunk
+        demand_vpns = {f.vpn for f in mig.faults}
+        # Group pages by chunk (pattern prefetch stays within one chunk, but
+        # the tree prefetcher can cross chunks).
+        by_chunk: Dict[int, List[int]] = {}
+        for vpn in sorted(mig.pages):
+            by_chunk.setdefault(vpn // ppc, []).append(vpn)
+
+        for chunk_id, vpns in by_chunk.items():
+            entry = self.chain.get(chunk_id)
+            is_new = entry is None
+            if entry is None:
+                entry = ChunkEntry(chunk_id, self.clock.current_interval)
+            for vpn in vpns:
+                frame = self.device.allocate()
+                self.page_table.map(vpn, frame)
+                idx = vpn % ppc
+                entry.mark_resident(idx)
+                if vpn in demand_vpns:
+                    self.stats.demand_pages += 1
+                else:
+                    entry.prefetch_mask |= 1 << idx
+                    self.stats.prefetched_pages += 1
+                self.frontend.uncover(vpn)
+            # HPE-style counter pollution: migration bumps the counter by the
+            # number of pages migrated (Inefficiency 1 of the paper).
+            entry.counter = min(16, entry.counter + len(vpns))
+            if is_new:
+                self.policy.insert_chunk(entry, time)
+
+        migrated = len(mig.pages)
+        self.ledger.reserved -= migrated
+        self.stats.pages_migrated += migrated
+        if self._trace.enabled:
+            # Chrome duration slice: anchored at the start, dur in cycles
+            # (the exporter converts both to microseconds).
+            self._trace.emit(
+                "migration", mig.start_time, dur=time - mig.start_time,
+                demand=len(mig.faults), **mig.trace_args(),
+            )
+        self.clock.advance(migrated, time)
+
+        del self.in_flight[mig.token]
+        self._active_services -= 1
+        for fault in mig.faults:
+            fault.on_resolve(time)
+        self.stats.chain_length_peak = self.chain.length_peak
+        self.pump(time)
+
+
+class MemorySystem:
+    """Facade: the staged unified-memory runtime for one simulated GPU.
+
+    Owns the shared mechanism structures (device memory, page table, chunk
+    chain, PCIe link, RNG) and wires the four stages together; SMs and the
+    :class:`~repro.engine.simulator.Simulator` talk only to this surface.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        capacity_frames: int,
+        events: EventQueue,
+        stats: SimStats,
+        policy: EvictionPolicy,
+        prefetcher: Prefetcher,
+        translation: Optional[TranslationHierarchy] = None,
+        footprint_pages: Optional[int] = None,
+        obs: Optional[Observability] = None,
+    ):
+        self.config = config
+        self.uvm = config.uvm
+        self.events = events
+        self.stats = stats
+        self.policy = policy
+        self.prefetcher = prefetcher
+        self.translation = translation
+        self.obs = obs or DISABLED
+
+        self.device = DeviceMemory(capacity_frames)
+        self._page_table = (
+            translation.page_table if translation is not None
+            else PageTable(config.translation.walker.levels)
+        )
+        self.chain = ChunkChain()
+        self.pcie = PCIeLink(
+            self.uvm.interconnect_gbps, self.uvm.clock_hz, self.uvm.page_size,
+            obs=self.obs,
+        )
+        #: The injected mechanism RNG stream (seeded in SimConfig, never
+        #: constructed here — REPRO106).
+        self.rng: random.Random = config.make_rng()
+
+        self.ledger = FrameLedger(self.device, self.uvm.pages_per_chunk)
+        self.clock = IntervalClock(
+            self.uvm, stats, policy, self.pcie, self.obs
+        )
+        self.frontend = FaultFrontend(
+            self.uvm, stats, policy, self.clock, self.obs
+        )
+        self.evictor = EvictionService(
+            self.uvm, self.device, self._page_table, self.chain, self.pcie,
+            self.ledger, policy, prefetcher, translation, stats, self.clock,
+            self.obs, footprint_pages,
+        )
+        self.scheduler = MigrationScheduler(
+            self.uvm, self.device, self._page_table, self.chain, self.pcie,
+            events, stats, self.ledger, self.frontend, self.evictor,
+            self.clock, policy, prefetcher, self.obs,
+        )
+
+        policy.attach(
+            PolicyContext(
+                chain=self.chain,
+                stats=stats,
+                config=config,
+                rng=self.rng,
+                clock=self.clock,
+                obs=self.obs,
+            )
+        )
+        prefetcher.attach(
+            PrefetchContext(config=config, stats=stats, obs=self.obs)
+        )
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def page_table(self) -> PageTable:
+        return self._page_table
+
+    @page_table.setter
+    def page_table(self, page_table: PageTable) -> None:
+        """Rebind the page table on every stage (single source of truth —
+        the Simulator installs its own table when translation is off)."""
+        self._page_table = page_table
+        self.evictor.page_table = page_table
+        self.scheduler.page_table = page_table
+
+    @property
+    def current_interval(self) -> int:
+        return self.clock.current_interval
+
+    @property
+    def memory_full(self) -> bool:
+        """True once a whole chunk no longer fits without eviction."""
+        return self.ledger.memory_full
+
+    def is_resident(self, vpn: int) -> bool:
+        return self._page_table.is_resident(vpn)
+
+    def touch_page(self, sm_id: int, vpn: int, is_write: bool, time: int) -> None:
+        """Record a successful access to a resident page."""
+        self._page_table.record_access(vpn, is_write)
+        ppc = self.uvm.pages_per_chunk
+        entry = self.chain.get(vpn // ppc)
+        if entry is None:
+            raise SimulationError(f"resident vpn {vpn} has no chunk entry")
+        entry.mark_touched(vpn % ppc)
+        self.policy.on_page_touched(entry, vpn, time)
+
+    def handle_fault(self, fault: FarFault) -> None:
+        """Entry point for an SM's far fault."""
+        if self.frontend.intake(fault):
+            self.scheduler.pump(fault.time)
+
+    # ------------------------------------------------------------- reporting
+
+    def drain_check(self) -> None:
+        """Assert no faults are stuck at end of simulation."""
+        if self.frontend.pending or self.scheduler.in_flight:
+            raise SimulationError(
+                f"simulation ended with {len(self.frontend.pending)} pending "
+                f"and {len(self.scheduler.in_flight)} in-flight migrations"
+            )

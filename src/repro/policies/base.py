@@ -1,7 +1,7 @@
 """Eviction policy interface.
 
-The GMMU owns the *mechanism* (chunk chain bookkeeping, touch bit-vectors,
-unmapping, interval ticks); a policy owns the *decisions*:
+The memory system owns the *mechanism* (chunk chain bookkeeping, touch
+bit-vectors, unmapping, interval ticks); a policy owns the *decisions*:
 
 * where a newly migrated chunk enters the chain (:meth:`insert_chunk`);
 * whether a page touch refreshes chain recency (:meth:`on_page_touched`);
@@ -9,15 +9,21 @@ unmapping, interval ticks); a policy owns the *decisions*:
 * how to react to faults, evictions, and interval boundaries.
 
 The touched bit-vector on each :class:`~repro.memsim.chunk_chain.ChunkEntry`
-is maintained by the GMMU regardless of policy — it models page-table access
-bits that the driver reads back at unmap time.
+is maintained by the mechanism layer regardless of policy — it models
+page-table access bits that the driver reads back at unmap time.
+
+Policies never see the memory system itself: :class:`PolicyContext` hands
+them exactly the pieces they may consult, and interval geometry arrives
+through the :class:`IntervalSource` stage protocol (implemented by
+:class:`repro.memsim.system.IntervalClock`) rather than a callback into
+mechanism internals.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import List, Protocol
 
 from ..config import SimConfig
 from ..engine.stats import IntervalRecord, SimStats
@@ -25,18 +31,45 @@ from ..errors import SimulationError
 from ..memsim.chunk_chain import ChunkChain, ChunkEntry
 from ..obs import DISABLED, Observability
 
-__all__ = ["PolicyContext", "EvictionPolicy"]
+__all__ = ["IntervalSource", "ZERO_CLOCK", "PolicyContext", "EvictionPolicy"]
+
+
+class IntervalSource(Protocol):
+    """Stage protocol: a read-only view of the interval clock.
+
+    The chain partitions ("new"/"middle"/"old") and every adaptive policy
+    decision are phrased in intervals (64 migrated pages), so this is the
+    only piece of mechanism state a policy may *read* at decision time.
+    """
+
+    @property
+    def current_interval(self) -> int: ...
+
+
+class _FixedClock:
+    """Interval source pinned to interval 0 (detached-policy default)."""
+
+    __slots__ = ()
+
+    @property
+    def current_interval(self) -> int:
+        return 0
+
+
+#: Stateless default clock; shared safely by every detached policy.
+ZERO_CLOCK: IntervalSource = _FixedClock()
 
 
 @dataclass
 class PolicyContext:
-    """Everything a policy may consult, handed over by the GMMU at attach."""
+    """Everything a policy may consult, handed over at attach time."""
 
     chain: ChunkChain
     stats: SimStats
     config: SimConfig
     rng: random.Random
-    get_interval: Callable[[], int] = field(default=lambda: 0)
+    #: Interval geometry, via the stage protocol (not a mechanism callback).
+    clock: IntervalSource = field(default=ZERO_CLOCK)
     #: Observability sink (tracer + metrics registry); the DISABLED
     #: singleton is stateless, so sharing it as a default is safe.
     obs: Observability = DISABLED
@@ -54,7 +87,7 @@ class EvictionPolicy:
     # --- lifecycle ---------------------------------------------------------
 
     def attach(self, ctx: PolicyContext) -> None:
-        """Called once by the GMMU before simulation starts."""
+        """Called once by the memory system before simulation starts."""
         self.ctx = ctx
 
     # --- chain events ------------------------------------------------------
@@ -64,7 +97,7 @@ class EvictionPolicy:
         self.ctx.chain.insert_tail(entry)
 
     def on_page_touched(self, entry: ChunkEntry, vpn: int, time: int) -> None:
-        """A resident page was touched (after the GMMU updated bit-vectors)."""
+        """A resident page was touched (after the bit-vectors were updated)."""
 
     def on_fault(self, vpn: int, chunk_id: int, time: int) -> None:
         """A far fault was raised (before servicing)."""
@@ -77,8 +110,8 @@ class EvictionPolicy:
 
     def on_interval_end(self, record: IntervalRecord, time: int) -> None:
         """An interval (64 migrated pages) completed.  ``record`` is partially
-        filled by the GMMU (index, faults, evictions); policies add strategy
-        telemetry."""
+        filled by the interval clock (index, faults, evictions); policies add
+        strategy telemetry."""
 
     # --- the decision ------------------------------------------------------
 
@@ -86,8 +119,8 @@ class EvictionPolicy:
         """Choose chunks whose resident pages cover ``frames_needed`` frames.
 
         Entries are returned in eviction order and must still be in the
-        chain; the GMMU removes them, unmaps their pages and then calls
-        :meth:`on_chunk_evicted` for each.
+        chain; the eviction service removes them, unmaps their pages and
+        then calls :meth:`on_chunk_evicted` for each.
         """
         raise NotImplementedError
 

@@ -65,7 +65,7 @@ class HPEPolicy(EvictionPolicy):
         # HPE updates the chain on every touch (16 updates per chunk).
         entry.counter = min(entry.counter + 1, 16)
         self.ctx.chain.move_to_tail(entry.chunk_id)
-        entry.last_ref_interval = self.ctx.get_interval()
+        entry.last_ref_interval = self.ctx.clock.current_interval
 
     def on_fault(self, vpn: int, chunk_id: int, time: int) -> None:
         if chunk_id in self._evicted_buffer:
@@ -143,7 +143,7 @@ class HPEPolicy(EvictionPolicy):
     # --- selection ------------------------------------------------------------
 
     def select_victims(self, frames_needed: int, time: int) -> List[ChunkEntry]:
-        interval = self.ctx.get_interval()
+        interval = self.ctx.clock.current_interval
         if self._strategy == "mru-c":
             ordered = self._mru_c_order(interval)
         else:

@@ -23,7 +23,7 @@ class LRUPolicy(EvictionPolicy):
 
     def on_page_touched(self, entry: ChunkEntry, vpn: int, time: int) -> None:
         self.ctx.chain.move_to_tail(entry.chunk_id)
-        entry.last_ref_interval = self.ctx.get_interval()
+        entry.last_ref_interval = self.ctx.clock.current_interval
 
     def select_victims(self, frames_needed: int, time: int) -> List[ChunkEntry]:
         ordered = list(self.ctx.chain.from_head())

@@ -97,7 +97,7 @@ class MHPEPolicy(EvictionPolicy):
     # --- chain events -------------------------------------------------------
 
     def insert_chunk(self, entry: ChunkEntry, time: int) -> None:
-        entry.last_ref_interval = self.ctx.get_interval()
+        entry.last_ref_interval = self.ctx.clock.current_interval
         if entry.chunk_id in self._wrong_chunks:
             # Park wrongly evicted chunks at the LRU end: MRU selection will
             # not pick them again soon, stopping the thrash loop.
@@ -112,7 +112,7 @@ class MHPEPolicy(EvictionPolicy):
         # last *referenced* in, so references must be tracked — but unlike
         # HPE's per-touch updates, a chunk moves at most once per interval
         # (the overhead reduction Section VI-C claims).
-        interval = self.ctx.get_interval()
+        interval = self.ctx.clock.current_interval
         if entry.last_ref_interval < interval:
             entry.last_ref_interval = interval
             self.ctx.chain.move_to_tail(entry.chunk_id)
@@ -241,7 +241,7 @@ class MHPEPolicy(EvictionPolicy):
     # --- selection --------------------------------------------------------------
 
     def select_victims(self, frames_needed: int, time: int) -> List[ChunkEntry]:
-        interval = self.ctx.get_interval()
+        interval = self.ctx.clock.current_interval
         if self.strategy == "lru":
             ordered = self.ctx.chain.candidates_from_head(interval)
         else:

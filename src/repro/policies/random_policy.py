@@ -18,7 +18,7 @@ class RandomPolicy(EvictionPolicy):
 
     def on_page_touched(self, entry: ChunkEntry, vpn: int, time: int) -> None:
         # Random ignores recency but keeps interval bookkeeping coherent.
-        entry.last_ref_interval = self.ctx.get_interval()
+        entry.last_ref_interval = self.ctx.clock.current_interval
 
     def select_victims(self, frames_needed: int, time: int) -> List[ChunkEntry]:
         entries = [e for e in self.ctx.chain.from_head() if e.resident_pages > 0]

@@ -13,12 +13,13 @@ from repro.prefetch.base import PrefetchContext, Prefetcher
 
 
 class IntervalClock:
-    """Mutable interval counter for policy contexts."""
+    """Mutable interval counter satisfying the IntervalSource protocol."""
 
     def __init__(self, value: int = 0):
         self.value = value
 
-    def __call__(self) -> int:
+    @property
+    def current_interval(self) -> int:
         return self.value
 
 
@@ -38,7 +39,7 @@ def attach_policy(
             stats=stats,
             config=config or SimConfig(),
             rng=random.Random(seed),
-            get_interval=clock,
+            clock=clock,
         )
     )
     return chain, stats, clock

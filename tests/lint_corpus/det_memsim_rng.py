@@ -1,0 +1,15 @@
+# expect: REPRO106
+# repro-lint: module=repro.memsim.corpus_rng
+"""Direct RNG construction in memsim: forks a stream SimConfig can't see.
+
+``random.Random(seed)`` is fine elsewhere in simulation code (REPRO101
+allows seeded ctors), but inside ``repro.memsim`` the one blessed stream
+is ``config.make_rng()`` — a second locally derived seed silently splits
+the randomness the result cache assumed was single-sourced.
+"""
+
+import random
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed ^ 0x5EED)

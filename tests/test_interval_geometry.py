@@ -71,3 +71,70 @@ class TestChainGeometry:
         )
         result = sim.run()
         assert result.stats.chain_length_peak == wl.footprint_chunks
+
+
+class TestBoundaryStraddle:
+    """A migration batch that straddles the 64-page interval boundary.
+
+    ``IntervalClock.advance`` is credited with whole batches, so a single
+    call can cross one interval boundary (or several at once); every
+    boundary crossed must produce its own :class:`IntervalRecord`, and
+    fault/eviction counters must reset exactly at each tick.
+    """
+
+    def make_clock(self):
+        from repro.engine.stats import SimStats
+        from repro.memsim.pcie import PCIeLink
+        from repro.memsim.system import IntervalClock
+        from repro.obs import DISABLED
+        from repro.policies.base import EvictionPolicy
+
+        stats = SimStats()
+        clock = IntervalClock(
+            UVMConfig(), stats, EvictionPolicy(), PCIeLink(), DISABLED
+        )
+        return clock, stats
+
+    def test_batch_straddles_one_boundary(self):
+        clock, stats = self.make_clock()
+        clock.advance(40, time=100)
+        assert clock.current_interval == 0 and not stats.intervals
+        # 40 + 48 = 88: crosses 64, remainder 24 carries into interval 1.
+        clock.advance(48, time=200)
+        assert clock.current_interval == 1
+        assert [r.index for r in stats.intervals] == [0]
+        assert stats.intervals[0].end_time == 200
+        # 24 carried + 40 = 64 exactly: second boundary.
+        clock.advance(40, time=300)
+        assert clock.current_interval == 2
+        assert [r.index for r in stats.intervals] == [0, 1]
+        assert clock.pages_migrated == 128
+
+    def test_batch_straddles_multiple_boundaries(self):
+        clock, stats = self.make_clock()
+        # One giant batch spanning three whole intervals plus a remainder.
+        clock.advance(3 * 64 + 10, time=500)
+        assert clock.current_interval == 3
+        assert [r.index for r in stats.intervals] == [0, 1, 2]
+        assert all(r.end_time == 500 for r in stats.intervals)
+
+    def test_counters_reset_at_each_tick(self):
+        clock, stats = self.make_clock()
+        for _ in range(3):
+            clock.note_fault()
+        clock.note_eviction()
+        clock.advance(64, time=10)
+        assert stats.intervals[0].faults == 3
+        assert stats.intervals[0].chunks_evicted == 1
+        # Post-tick activity belongs to the next interval only.
+        clock.note_fault()
+        clock.advance(64, time=20)
+        assert stats.intervals[1].faults == 1
+        assert stats.intervals[1].chunks_evicted == 0
+
+    def test_exact_boundary_does_not_double_tick(self):
+        clock, stats = self.make_clock()
+        clock.advance(64, time=10)
+        clock.advance(0, time=20)
+        assert clock.current_interval == 1
+        assert [r.index for r in stats.intervals] == [0]

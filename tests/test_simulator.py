@@ -118,6 +118,33 @@ class TestSpeedupAPI:
         with pytest.raises(SimulationError):
             a.speedup_over(b)
 
+    def test_speedup_with_crashed_baseline_rejected(self):
+        # Fig. 10's 'X' entries: a crashed baseline has no defined runtime,
+        # so the comparison must refuse in *both* directions.
+        crashed = SimulationResult(
+            "x", "I", "lru", "none", 0.5, 10, 10, crashed=True
+        )
+        ok = SimulationResult("x", "I", "lru", "none", 0.5, 10, 10)
+        ok.stats.total_cycles = 10
+        with pytest.raises(SimulationError):
+            crashed.speedup_over(ok)
+
+    def test_speedup_with_zero_cycle_run_rejected(self):
+        ran = SimulationResult("x", "I", "lru", "none", 0.5, 10, 10)
+        ran.stats.total_cycles = 10
+        unexecuted = SimulationResult("x", "I", "lru", "none", 0.5, 10, 10)
+        with pytest.raises(SimulationError):
+            unexecuted.speedup_over(ran)
+
+    def test_speedup_with_zero_cycle_baseline_rejected(self):
+        # A 0-cycle baseline would silently report speedup 0.0 — refuse it
+        # the same way as a 0-cycle candidate.
+        ran = SimulationResult("x", "I", "lru", "none", 0.5, 10, 10)
+        ran.stats.total_cycles = 10
+        unexecuted = SimulationResult("x", "I", "lru", "none", 0.5, 10, 10)
+        with pytest.raises(SimulationError):
+            ran.speedup_over(unexecuted)
+
     def test_label(self, fast_config, cyclic_workload):
         result = Simulator(cyclic_workload, oversubscription=0.5, config=fast_config).run()
         assert "unit@50%" in result.label()
