@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError
+from ..errors import HarnessError, ReproError
 from ..harness.experiment import RunSpec, run_matrix
+from ..harness.faults import FaultTolerance
 
 __all__ = ["SweepPoint", "SweepResult", "capacity_sweep", "find_knee"]
 
@@ -33,11 +34,17 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """A full capacity-sweep curve for one app under one setup."""
+    """A full capacity-sweep curve for one app under one setup.
+
+    ``failures`` lists the rates whose run failed in the harness under a
+    ``keep_going`` fault-tolerance policy (no :class:`SweepPoint` exists for
+    those — distinct from ``crashed`` points, which are simulation results).
+    """
 
     app: str
     setup: str
     points: List[SweepPoint] = field(default_factory=list)
+    failures: List[float] = field(default_factory=list)
 
     def slowdown_at(self, rate: float) -> float:
         for p in self.points:
@@ -57,6 +64,7 @@ def capacity_sweep(
     seed: Optional[int] = None,
     jobs: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
 ) -> SweepResult:
     """Run ``app`` under ``setup`` across capacity rates.
 
@@ -64,17 +72,32 @@ def capacity_sweep(
     the slowdown normalisation.  The points are independent simulations, so
     ``jobs > 1`` fans them out over the parallel experiment engine (and all
     points go through the persistent result cache either way).
+
+    Under a ``keep_going`` fault-tolerance policy a failed point is dropped
+    from the curve and recorded in ``SweepResult.failures`` — except the
+    1.0 anchor, whose loss makes every slowdown undefined and raises
+    :class:`~repro.errors.HarnessError`.
     """
     rates = sorted(set(rates) | {1.0}, reverse=True)
     specs = [
         RunSpec(app, setup, None if rate >= 1.0 else rate, scale=scale, seed=seed)
         for rate in rates
     ]
-    results = run_matrix(specs, jobs=jobs, progress=progress)
+    results = run_matrix(
+        specs, jobs=jobs, progress=progress, fault_tolerance=fault_tolerance
+    )
     result = SweepResult(app=app, setup=setup)
     reference_cycles: Optional[int] = None
     for rate, spec in zip(rates, specs):
         sim_result = results[spec.key()]
+        if sim_result is None:
+            if rate >= 1.0:
+                raise HarnessError(
+                    f"capacity sweep for {app}/{setup}: the rate-1.0 anchor "
+                    "run failed; slowdowns cannot be normalised"
+                )
+            result.failures.append(rate)
+            continue
         if rate >= 1.0:
             reference_cycles = sim_result.total_cycles
         assert reference_cycles is not None

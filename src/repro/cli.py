@@ -171,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bypass the persistent result cache")
     regen_p.add_argument("--apps", nargs="*", default=None)
     regen_p.add_argument("--scale", type=float, default=1.0)
+    regen_p.add_argument(
+        "--keep-going", action="store_true",
+        help="record failed specs and continue (exit 1 with a failure "
+             "summary at the end); successful results still checkpoint "
+             "into the cache, so a re-run resumes instead of restarting",
+    )
+    regen_p.add_argument(
+        "--retries", type=int, default=2,
+        help="broken-pool rebuild attempts before the serial fallback "
+             "(default: 2); simulation failures are never retried",
+    )
+    regen_p.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="reap workers after this many seconds without any worker "
+             "completing (their specs are marked timed_out)",
+    )
 
     lint_p = sub.add_parser(
         "lint",
@@ -395,12 +411,23 @@ def _select_cache(cache_dir: Optional[str], no_cache: bool = False) -> None:
 
 
 def _cmd_regen(args: argparse.Namespace) -> int:
+    from .errors import WorkerFailure
+    from .harness.faults import FaultTolerance, render_failure_summary
     from .harness.parallel import stderr_progress
 
     _select_cache(args.cache_dir, args.no_cache)
     regenerators = {**_FIGURES, **_TABLES}
     names = sorted(regenerators) if "all" in args.artifacts else args.artifacts
     active = cache_mod.get_active_cache()
+    # One shared policy object: outcomes accumulate across every artifact,
+    # so the batch-end summary covers the whole invocation.
+    fault_tolerance = None
+    if args.keep_going or args.retries != 2 or args.timeout_s is not None:
+        fault_tolerance = FaultTolerance(
+            keep_going=args.keep_going,
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+        )
     for name in names:
         before_hits, before_stores = (
             (active.hits, active.stores) if active else (0, 0)
@@ -409,13 +436,21 @@ def _cmd_regen(args: argparse.Namespace) -> int:
         # only, never simulation state (boundary: devtools.boundary, REPRO102).
         started = time.time()
         kwargs = dict(scale=args.scale, jobs=args.jobs,
-                      progress=stderr_progress(name))
+                      progress=stderr_progress(name),
+                      fault_tolerance=fault_tolerance)
         if args.apps:
             if name.startswith("sensitivity"):
                 print(f"note: --apps is ignored for {name}", file=sys.stderr)
             else:
                 kwargs["apps"] = args.apps
-        print(regenerators[name](**kwargs).render())
+        try:
+            print(regenerators[name](**kwargs).render())
+        except WorkerFailure as failure:
+            if fault_tolerance is None or not fault_tolerance.keep_going:
+                raise
+            print(f"[{name}] FAILED: {failure.label}: {failure.exc_type}",
+                  file=sys.stderr)
+            continue
         batch = f"[{name}] {time.time() - started:.1f}s"
         if active:
             batch += (
@@ -423,6 +458,12 @@ def _cmd_regen(args: argparse.Namespace) -> int:
                 f"{active.hits - before_hits} disk-cache hits"
             )
         print(batch, file=sys.stderr)
+    if fault_tolerance is not None and fault_tolerance.outcomes:
+        failed = fault_tolerance.failures()
+        if failed:
+            print(render_failure_summary(fault_tolerance.outcomes),
+                  file=sys.stderr)
+            return 1
     return 0
 
 

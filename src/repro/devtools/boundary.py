@@ -75,6 +75,7 @@ PARALLEL_SCOPE: FrozenSet[str] = SIMULATION_PACKAGES | frozenset(
     {
         "repro.harness.experiment",
         "repro.harness.parallel",
+        "repro.harness.faults",
     }
 )
 

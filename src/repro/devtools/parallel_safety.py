@@ -31,6 +31,7 @@ __all__ = [
     "GlobalMutationRule",
     "WorkerPicklableRule",
     "ConfigMutationRule",
+    "PoolExceptionRule",
 ]
 
 #: Parameter names treated as "the shared config object" by REPRO303.
@@ -38,6 +39,18 @@ _CONFIG_NAMES = frozenset({"config", "cfg", "sim_config", "simconfig"})
 
 #: Executor methods whose first argument must be a picklable callable.
 _SUBMIT_METHODS = frozenset({"submit", "map"})
+
+#: Pool dispatch/collection calls: a ``try`` whose body contains one of
+#: these is "around pool dispatch" for REPRO304.
+_DISPATCH_CALLS = frozenset({"wait", "as_completed"})
+
+#: Exception names too broad to catch around pool dispatch: they swallow
+#: simulation-level failures travelling back through futures and reclassify
+#: them as pool breakage (the ``_POOL_ERRORS`` bug this rule exists to keep
+#: out).
+_OVERBROAD_EXCEPTIONS = frozenset(
+    {"Exception", "BaseException", "RuntimeError", "OSError"}
+)
 
 
 class _ParallelScopeRule(FileRule):
@@ -218,3 +231,105 @@ class ConfigMutationRule(_ParallelScopeRule):
         if len(chain) >= 2 and chain[0] == "self":
             chain = chain[1:]
         return chain[0] if chain else ""
+
+
+@register
+class PoolExceptionRule(_ParallelScopeRule):
+    rule_id = "REPRO304"
+    title = "over-broad exception handling around pool dispatch"
+    rationale = (
+        "catching Exception/RuntimeError/OSError (or a bare except) around "
+        "submit/map/wait swallows simulation-level errors travelling back "
+        "through futures and misclassifies them as pool breakage — the "
+        "batch silently re-runs serially and the real bug is masked.  "
+        "Catch BrokenProcessPool/PoolError around dispatch; classify "
+        "worker-side errors in the worker (envelope pattern)."
+    )
+    fix_hint = (
+        "narrow the handler to BrokenProcessPool / PoolError; return "
+        "worker exceptions inside a reply envelope instead of raising "
+        "them through the future"
+    )
+
+    def _check_scoped(self, ctx: FileContext) -> Iterator[Finding]:
+        tuple_bindings = self._module_tuples(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            if not self._has_dispatch(node.body):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield ctx.finding(
+                        handler,
+                        self,
+                        "bare `except:` around pool dispatch",
+                    )
+                    continue
+                for name in self._broad_names(handler.type, tuple_bindings):
+                    yield ctx.finding(
+                        handler,
+                        self,
+                        f"`except {name}` around pool dispatch is too "
+                        "broad (swallows simulation-level failures)",
+                    )
+
+    @staticmethod
+    def _has_dispatch(body: List[ast.stmt]) -> bool:
+        """True when the statements contain a pool dispatch/collection call
+        (``.submit(...)`` / ``.map(...)`` / ``wait(...)`` /
+        ``as_completed(...)``)."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in (_SUBMIT_METHODS | _DISPATCH_CALLS)
+                ):
+                    return True
+                if isinstance(func, ast.Name) and func.id in _DISPATCH_CALLS:
+                    return True
+        return False
+
+    @staticmethod
+    def _module_tuples(tree: ast.Module) -> dict:
+        """Module-level ``NAME = (Exc, ...)`` bindings, so a handler that
+        names a tuple constant is checked element-wise."""
+        bindings = {}
+        for stmt in tree.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            if not (
+                isinstance(target, ast.Name)
+                and isinstance(stmt.value, ast.Tuple)
+            ):
+                continue
+            bindings[target.id] = stmt.value.elts
+        return bindings
+
+    @classmethod
+    def _broad_names(cls, type_node: ast.expr, tuple_bindings: dict):
+        """Over-broad exception names reachable from a handler's type
+        expression (direct, inside a literal tuple, or via a module-level
+        tuple binding)."""
+        elements: List[ast.expr]
+        if isinstance(type_node, ast.Tuple):
+            elements = list(type_node.elts)
+        elif (
+            isinstance(type_node, ast.Name)
+            and type_node.id in tuple_bindings
+        ):
+            elements = list(tuple_bindings[type_node.id])
+        else:
+            elements = [type_node]
+        for element in elements:
+            name = ""
+            if isinstance(element, ast.Name):
+                name = element.id
+            elif isinstance(element, ast.Attribute):
+                name = element.attr
+            if name in _OVERBROAD_EXCEPTIONS:
+                yield name

@@ -208,10 +208,31 @@ class ResultCache:
             return
         yield from sorted(self.root.glob("*/*.pkl"))
 
+    def _entry_schema(self, path: Path) -> Optional[int]:
+        """The stored ``schema`` field of an entry, or ``None`` when the
+        entry is unreadable / not in the expected envelope format."""
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except Exception:
+            return None
+        if isinstance(payload, dict) and isinstance(payload.get("schema"), int):
+            return cast(int, payload["schema"])
+        return None
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete this cache's *own* entries; returns the number removed.
+
+        Only entries whose stored ``schema`` matches ``schema_version`` are
+        deleted: after a schema bump the old generation's entries belong to
+        a different key space this cache can never read, so clearing must
+        not destroy them (an older checkout may still be using them).
+        Unreadable entries are also left alone — ``get()`` already
+        self-heals those on access.
+        """
         removed = 0
         for path in self._entry_paths():
+            if self._entry_schema(path) != self.schema_version:
+                continue
             try:
                 path.unlink()
                 removed += 1
@@ -220,20 +241,35 @@ class ResultCache:
         return removed
 
     def stats(self) -> Dict[str, object]:
-        """Snapshot: on-disk entry count/bytes + lifetime counters."""
+        """Snapshot: on-disk entry count/bytes + lifetime counters.
+
+        ``entries``/``bytes`` cover only this cache's schema generation;
+        entries written under any other schema version (or unreadable ones)
+        are surfaced separately as ``stale_entries``/``stale_bytes`` so a
+        schema bump is visible instead of silently inflating the count.
+        """
         entries = 0
         total_bytes = 0
+        stale_entries = 0
+        stale_bytes = 0
         for path in self._entry_paths():
             try:
-                total_bytes += path.stat().st_size
-                entries += 1
+                size = path.stat().st_size
             except OSError:
-                pass
+                continue
+            if self._entry_schema(path) == self.schema_version:
+                entries += 1
+                total_bytes += size
+            else:
+                stale_entries += 1
+                stale_bytes += size
         return {
             "root": str(self.root),
             "schema_version": self.schema_version,
             "entries": entries,
             "bytes": total_bytes,
+            "stale_entries": stale_entries,
+            "stale_bytes": stale_bytes,
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,

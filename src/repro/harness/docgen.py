@@ -17,7 +17,9 @@ from pathlib import Path
 from typing import Callable, List, Optional
 
 from ..analysis.metrics import mean
+from ..errors import WorkerFailure
 from . import figures, tables
+from .faults import FaultTolerance, render_failure_summary
 from .store import save_artifact
 
 __all__ = ["generate", "main"]
@@ -82,19 +84,30 @@ PAPER_CLAIMS = {
 }
 
 _GENERATORS: List = [
-    ("fig3", lambda scale, jobs: figures.fig3(scale=scale, jobs=jobs)),
-    ("fig4", lambda scale, jobs: figures.fig4(scale=scale, jobs=jobs)),
-    ("fig7", lambda scale, jobs: figures.fig7(scale=scale, jobs=jobs)),
-    ("fig8", lambda scale, jobs: figures.fig8(scale=scale, jobs=jobs)),
-    ("fig9", lambda scale, jobs: figures.fig9(scale=scale, jobs=jobs)),
-    ("fig10", lambda scale, jobs: figures.fig10(scale=scale, jobs=jobs)),
-    ("table3", lambda scale, jobs: tables.table3(scale=scale, jobs=jobs)),
-    ("table4", lambda scale, jobs: tables.table4(scale=scale, jobs=jobs)),
+    ("fig3", lambda scale, jobs, ft:
+     figures.fig3(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("fig4", lambda scale, jobs, ft:
+     figures.fig4(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("fig7", lambda scale, jobs, ft:
+     figures.fig7(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("fig8", lambda scale, jobs, ft:
+     figures.fig8(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("fig9", lambda scale, jobs, ft:
+     figures.fig9(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("fig10", lambda scale, jobs, ft:
+     figures.fig10(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("table3", lambda scale, jobs, ft:
+     tables.table3(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("table4", lambda scale, jobs, ft:
+     tables.table4(scale=scale, jobs=jobs, fault_tolerance=ft)),
     ("sensitivity-fd",
-     lambda scale, jobs: tables.sensitivity_fd(scale=scale, jobs=jobs)),
+     lambda scale, jobs, ft:
+     tables.sensitivity_fd(scale=scale, jobs=jobs, fault_tolerance=ft)),
     ("sensitivity-t3",
-     lambda scale, jobs: tables.sensitivity_t3(scale=scale, jobs=jobs)),
-    ("overhead", lambda scale, jobs: tables.overhead(scale=scale, jobs=jobs)),
+     lambda scale, jobs, ft:
+     tables.sensitivity_t3(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("overhead", lambda scale, jobs, ft:
+     tables.overhead(scale=scale, jobs=jobs, fault_tolerance=ft)),
 ]
 
 
@@ -126,6 +139,7 @@ def generate(
     json_dir: Optional[Path] = None,
     names: Optional[List[str]] = None,
     jobs: Optional[int] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
     log: Callable[[str], None] = lambda s: print(s, file=sys.stderr),
 ) -> Path:
     """Run every artifact and write the EXPERIMENTS.md comparison.
@@ -133,7 +147,13 @@ def generate(
     ``jobs > 1`` routes every run matrix through the parallel experiment
     engine; either way all simulations go through the persistent result
     cache, so re-generating this document from cached results is cheap.
+
+    Under a ``keep_going`` fault-tolerance policy an artifact whose
+    generator fails outright is skipped (noted in the log and document);
+    the shared policy object accumulates per-spec outcomes across all
+    artifacts and the failure summary is appended to the log.
     """
+    keep_going = fault_tolerance is not None and fault_tolerance.keep_going
     sections = []
     summary_rows = []
     for name, gen in _GENERATORS:
@@ -143,7 +163,20 @@ def generate(
         # only, never simulation state (boundary: devtools.boundary, REPRO102).
         start = time.time()
         log(f"running {name} ...")
-        artifact = gen(scale, jobs)
+        try:
+            artifact = gen(scale, jobs, fault_tolerance)
+        except WorkerFailure as failure:
+            if not keep_going:
+                raise
+            log(f"  FAILED: {failure.label}: {failure.exc_type}")
+            summary_rows.append((name, f"FAILED ({failure.label})"))
+            sections.append(
+                f"## {name}\n\n"
+                f"**Paper:** {PAPER_CLAIMS[name]}\n\n"
+                f"**Measured:** generation failed ({failure.label}: "
+                f"{failure.exc_type}); artifact omitted\n"
+            )
+            continue
         elapsed = time.time() - start
         log(f"  done in {elapsed:.0f}s")
         if json_dir is not None:
@@ -156,6 +189,8 @@ def generate(
             f"**Measured:** {headline or 'see artifact below'}\n\n"
             "```\n" + artifact.render() + "\n```\n"
         )
+    if fault_tolerance is not None and fault_tolerance.failures():
+        log(render_failure_summary(fault_tolerance.outcomes))
 
     header = (
         "# EXPERIMENTS — paper-reported vs measured\n\n"
@@ -215,9 +250,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="generate only these artifacts")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="parallel workers for each run matrix")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="record failed runs and continue instead of "
+                             "aborting on the first failure")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="broken-pool rebuild attempts (default 2)")
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        help="reap workers after this many seconds without "
+                             "any worker completing")
     args = parser.parse_args(argv)
+    fault_tolerance = None
+    if args.keep_going or args.retries != 2 or args.timeout_s is not None:
+        fault_tolerance = FaultTolerance(
+            keep_going=args.keep_going,
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+        )
     generate(Path(args.output), scale=args.scale, json_dir=args.json_dir,
-             names=args.only, jobs=args.jobs)
+             names=args.only, jobs=args.jobs, fault_tolerance=fault_tolerance)
+    if fault_tolerance is not None and fault_tolerance.failures():
+        return 1
     return 0
 
 

@@ -242,6 +242,7 @@ def run_matrix(
     cache=_ACTIVE,
     progress: Optional[Callable[[int, int], None]] = None,
     obs: Optional[Observability] = None,
+    fault_tolerance=None,
 ) -> Dict[Tuple, SimulationResult]:
     """Run a batch of specs; returns ``{spec.key(): result}``.
 
@@ -251,12 +252,23 @@ def run_matrix(
     each completed spec.  An enabled ``obs`` traces every run (cache layers
     bypassed); worker traces merge into ``obs`` in input-spec order, so the
     merged trace is identical however the batch was scheduled.
+
+    A ``fault_tolerance`` policy (:class:`~repro.harness.faults.FaultTolerance`)
+    always routes through :class:`~repro.harness.parallel.ParallelRunner` —
+    even for serial batches — so per-spec outcome recording, ``keep_going``
+    (failed specs map to ``None`` instead of aborting the batch), and the
+    fault-injection hook behave identically at any job count.
     """
     specs = list(specs)
-    if jobs is not None and jobs > 1:
+    if fault_tolerance is not None or (jobs is not None and jobs > 1):
         from .parallel import ParallelRunner  # deferred: avoids import cycle
 
-        runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+        runner = ParallelRunner(
+            jobs=jobs if jobs is not None else 1,
+            cache=cache,
+            progress=progress,
+            fault_tolerance=fault_tolerance,
+        )
         results = runner.run(specs, config=config, use_cache=use_cache, obs=obs)
         return {spec.key(): r for spec, r in zip(specs, results)}
     out: Dict[Tuple, SimulationResult] = {}

@@ -15,11 +15,14 @@ from typing import Dict, List, Optional, Sequence
 from typing import Callable
 
 from ..analysis.metrics import geomean, mean
+from ..engine.simulator import SimulationResult
 from ..workloads.suite import BENCHMARKS, FIG3_APPS
 from .experiment import RunSpec, run_matrix, run_one
+from .faults import FaultTolerance
 from .report import render_series, render_table
 
 Progress = Optional[Callable[[int, int], None]]
+Tolerance = Optional[FaultTolerance]
 
 __all__ = [
     "FigureResult",
@@ -64,13 +67,40 @@ def _all_apps() -> List[str]:
 
 
 def _prewarm(
-    specs: Sequence[RunSpec], jobs: Optional[int], progress: Progress = None
+    specs: Sequence[RunSpec],
+    jobs: Optional[int],
+    progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> None:
     """Resolve a figure's whole run matrix up front (parallel when
     ``jobs > 1``), seeding the in-process memo so the per-app ``run_one``
     calls below are pure lookups."""
-    if (jobs is not None and jobs > 1) or progress is not None:
-        run_matrix(list(specs), jobs=jobs, progress=progress)
+    if (
+        (jobs is not None and jobs > 1)
+        or progress is not None
+        or fault_tolerance is not None
+    ):
+        run_matrix(
+            list(specs),
+            jobs=jobs,
+            progress=progress,
+            fault_tolerance=fault_tolerance,
+        )
+
+
+def _resolve_one(
+    spec: RunSpec, fault_tolerance: Tolerance
+) -> Optional[SimulationResult]:
+    """``run_one`` that honours a fault-tolerance policy.
+
+    Without a policy this is a plain ``run_one`` (raises on failure).  With
+    one, the spec routes through the guarded runner — a memo/cache hit after
+    ``_prewarm`` either way — and a failed spec yields ``None``, which the
+    figure treats like a crashed run.
+    """
+    if fault_tolerance is None:
+        return run_one(spec)
+    return run_matrix([spec], fault_tolerance=fault_tolerance)[spec.key()]
 
 
 def _matrix_specs(
@@ -95,23 +125,27 @@ def _speedup_series(
     rate: float,
     scale: float,
     crash_budget: Optional[float] = None,
+    fault_tolerance: Tolerance = None,
 ) -> Series:
     """Speedups of each setup over ``reference_setup``, per app at ``rate``.
 
-    Crashed runs yield ``None`` entries (either side).
+    Crashed runs — and, under a ``keep_going`` fault-tolerance policy,
+    failed ones — yield ``None`` entries (either side).
     """
     series: Series = {s: {} for s in setups}
     for app in apps:
-        ref = run_one(
+        ref = _resolve_one(
             RunSpec(app, reference_setup, rate, scale=scale,
-                    crash_budget_factor=crash_budget)
+                    crash_budget_factor=crash_budget),
+            fault_tolerance,
         )
         for setup in setups:
-            cand = run_one(
+            cand = _resolve_one(
                 RunSpec(app, setup, rate, scale=scale,
-                        crash_budget_factor=crash_budget)
+                        crash_budget_factor=crash_budget),
+                fault_tolerance,
             )
-            if ref.crashed or cand.crashed:
+            if ref is None or cand is None or ref.crashed or cand.crashed:
                 series[setup][app] = None
             else:
                 series[setup][app] = cand.speedup_over(ref)
@@ -138,6 +172,7 @@ def fig3(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> FigureResult:
     """LRU / Random / LRU-20% with the naive locality prefetcher at 50%
     oversubscription, normalised to LRU, for the thrashing + irregular apps."""
@@ -146,8 +181,12 @@ def fig3(
         _matrix_specs(apps, ["baseline", "random", "lru-20"], [rate], scale),
         jobs,
         progress,
+        fault_tolerance,
     )
-    series = _speedup_series(apps, ["random", "lru-20"], "baseline", rate, scale)
+    series = _speedup_series(
+        apps, ["random", "lru-20"], "baseline", rate, scale,
+        fault_tolerance=fault_tolerance,
+    )
     return FigureResult(
         name="fig3",
         description=(
@@ -175,6 +214,7 @@ def fig4(
     threshold: float = 1.2,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> FigureResult:
     """Chunk evictions with prefetch-always vs prefetch-off-when-full (both
     LRU), reported as a ratio; the paper shows apps with ratio > 1.2."""
@@ -183,12 +223,19 @@ def fig4(
         _matrix_specs(apps, ["baseline", "stop-on-full"], [rate], scale),
         jobs,
         progress,
+        fault_tolerance,
     )
     ratios: Dict[str, Optional[float]] = {}
     for app in apps:
-        always = run_one(RunSpec(app, "baseline", rate, scale=scale))
-        off = run_one(RunSpec(app, "stop-on-full", rate, scale=scale))
-        if off.stats.chunks_evicted == 0:
+        always = _resolve_one(
+            RunSpec(app, "baseline", rate, scale=scale), fault_tolerance
+        )
+        off = _resolve_one(
+            RunSpec(app, "stop-on-full", rate, scale=scale), fault_tolerance
+        )
+        if always is None or off is None:
+            ratios[app] = None
+        elif off.stats.chunks_evicted == 0:
             ratios[app] = None if always.stats.chunks_evicted == 0 else float("inf")
         else:
             ratios[app] = always.stats.chunks_evicted / off.stats.chunks_evicted
@@ -226,6 +273,7 @@ def fig7(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> FigureResult:
     """CPPE with Scheme-1 vs Scheme-2 pattern deletion, normalised to the
     baseline, for the applications whose chunks enter the pattern buffer."""
@@ -234,10 +282,14 @@ def fig7(
         _matrix_specs(apps, ["baseline", "cppe-s1", "cppe"], rates, scale),
         jobs,
         progress,
+        fault_tolerance,
     )
     series: Series = {}
     for rate in rates:
-        sub = _speedup_series(apps, ["cppe-s1", "cppe"], "baseline", rate, scale)
+        sub = _speedup_series(
+            apps, ["cppe-s1", "cppe"], "baseline", rate, scale,
+            fault_tolerance=fault_tolerance,
+        )
         series[f"scheme-1@{rate:.0%}"] = sub["cppe-s1"]
         series[f"scheme-2@{rate:.0%}"] = sub["cppe"]
     return FigureResult(
@@ -263,13 +315,22 @@ def fig8(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> FigureResult:
     """CPPE speedup over the baseline for the full suite at 75% and 50%."""
     apps = list(apps or _all_apps())
-    _prewarm(_matrix_specs(apps, ["baseline", "cppe"], rates, scale), jobs, progress)
+    _prewarm(
+        _matrix_specs(apps, ["baseline", "cppe"], rates, scale),
+        jobs,
+        progress,
+        fault_tolerance,
+    )
     series: Series = {}
     for rate in rates:
-        sub = _speedup_series(apps, ["cppe"], "baseline", rate, scale)
+        sub = _speedup_series(
+            apps, ["cppe"], "baseline", rate, scale,
+            fault_tolerance=fault_tolerance,
+        )
         series[f"cppe@{rate:.0%}"] = sub["cppe"]
     result = FigureResult(
         name="fig8",
@@ -295,6 +356,7 @@ def fig9(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> FigureResult:
     """Random / LRU-10% / LRU-20% / CPPE normalised to the baseline."""
     apps = list(apps or _all_apps())
@@ -304,11 +366,13 @@ def fig9(
         ),
         jobs,
         progress,
+        fault_tolerance,
     )
     series: Series = {}
     for rate in rates:
         sub = _speedup_series(
-            apps, ["random", "lru-10", "lru-20", "cppe"], "baseline", rate, scale
+            apps, ["random", "lru-10", "lru-20", "cppe"], "baseline", rate, scale,
+            fault_tolerance=fault_tolerance,
         )
         for setup, points in sub.items():
             series[f"{setup}@{rate:.0%}"] = points
@@ -340,6 +404,7 @@ def fig10(
     crash_budget: Optional[float] = None,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> FigureResult:
     """Prefetch-off-when-full and CPPE, both normalised to the naive
     baseline.  With ``crash_budget`` set, baseline runs that blow past the
@@ -351,6 +416,7 @@ def fig10(
         + _matrix_specs(apps, ["stop-on-full", "cppe"], rates, scale),
         jobs,
         progress,
+        fault_tolerance,
     )
     series: Series = {}
     notes = [
@@ -362,13 +428,25 @@ def fig10(
         stop_pts: Dict[str, Optional[float]] = {}
         cppe_pts: Dict[str, Optional[float]] = {}
         for app in apps:
-            base = run_one(
+            base = _resolve_one(
                 RunSpec(app, "baseline", rate, scale=scale,
-                        crash_budget_factor=crash_budget)
+                        crash_budget_factor=crash_budget),
+                fault_tolerance,
             )
-            stop = run_one(RunSpec(app, "stop-on-full", rate, scale=scale))
-            cppe = run_one(RunSpec(app, "cppe", rate, scale=scale))
-            if base.crashed:
+            stop = _resolve_one(
+                RunSpec(app, "stop-on-full", rate, scale=scale), fault_tolerance
+            )
+            cppe = _resolve_one(
+                RunSpec(app, "cppe", rate, scale=scale), fault_tolerance
+            )
+            if base is None or stop is None or cppe is None:
+                stop_pts[app] = None
+                cppe_pts[app] = None
+                notes.append(
+                    f"{app}@{rate:.0%}: run failed in the harness "
+                    "(keep-going); omitted"
+                )
+            elif base.crashed:
                 # Normalise to the prefetch-off run instead (paper's 'X').
                 stop_pts[app] = 1.0
                 cppe_pts[app] = cppe.speedup_over(stop)

@@ -22,9 +22,11 @@ from ..analysis.metrics import mean, overhead_report
 from ..config import MHPEConfig, SimConfig
 from ..workloads.suite import BENCHMARKS
 from .experiment import RunSpec, run_matrix, run_one
+from .faults import FaultTolerance
 from .report import render_table
 
 Progress = Optional[Callable[[int, int], None]]
+Tolerance = Optional[FaultTolerance]
 
 __all__ = [
     "TableResult",
@@ -71,11 +73,16 @@ def _characterisation_config(forward_distance: Optional[int] = None) -> SimConfi
 
 
 def _characterisation_run(app: str, rate: float, scale: float,
-                          forward_distance: Optional[int] = None):
-    return run_one(
-        RunSpec(app, "mhpe-naive", rate, scale=scale),
-        config=_characterisation_config(forward_distance),
-    )
+                          forward_distance: Optional[int] = None,
+                          fault_tolerance: Tolerance = None):
+    spec = RunSpec(app, "mhpe-naive", rate, scale=scale)
+    config = _characterisation_config(forward_distance)
+    if fault_tolerance is None:
+        return run_one(spec, config=config)
+    # Guarded path: a failed run yields None (recorded on the policy).
+    return run_matrix(
+        [spec], config=config, fault_tolerance=fault_tolerance
+    )[spec.key()]
 
 
 def _prewarm_characterisation(
@@ -85,8 +92,9 @@ def _prewarm_characterisation(
     jobs: Optional[int],
     progress: Progress = None,
     forward_distance: Optional[int] = None,
+    fault_tolerance: Tolerance = None,
 ) -> None:
-    if (jobs is None or jobs <= 1) and progress is None:
+    if (jobs is None or jobs <= 1) and progress is None and fault_tolerance is None:
         return
     run_matrix(
         [RunSpec(app, "mhpe-naive", rate, scale=scale)
@@ -94,6 +102,7 @@ def _prewarm_characterisation(
         config=_characterisation_config(forward_distance),
         jobs=jobs,
         progress=progress,
+        fault_tolerance=fault_tolerance,
     )
 
 
@@ -103,14 +112,24 @@ def table3(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> TableResult:
     """Maximum per-interval untouch level in the first four active intervals."""
     apps = list(apps or BENCHMARKS)
-    _prewarm_characterisation(apps, rates, scale, jobs, progress)
+    _prewarm_characterisation(apps, rates, scale, jobs, progress,
+                              fault_tolerance=fault_tolerance)
     rows = []
+    notes = [
+        "paper: range 0..60; Types II/III/V/VI high, Types I/IV low; "
+        "T1 is set to 32 so MRU-friendly apps (e.g. HSD) stay below it",
+    ]
     for rate in rates:
         for app in apps:
-            result = _characterisation_run(app, rate, scale)
+            result = _characterisation_run(app, rate, scale,
+                                           fault_tolerance=fault_tolerance)
+            if result is None:
+                notes.append(f"{app}@{rate:.0%}: run failed (keep-going); omitted")
+                continue
             profile = untouch_profile(result)
             rows.append([f"{rate:.0%}", app, profile.max_first_four])
     rows.sort(key=lambda r: (r[0], -r[2]))
@@ -119,10 +138,7 @@ def table3(
         description="max untouch level in first four intervals (MRU, no switch)",
         headers=["rate", "app", "max untouch"],
         rows=rows,
-        notes=[
-            "paper: range 0..60; Types II/III/V/VI high, Types I/IV low; "
-            "T1 is set to 32 so MRU-friendly apps (e.g. HSD) stay below it",
-        ],
+        notes=notes,
     )
 
 
@@ -133,15 +149,20 @@ def table4(
     t1: int = 32,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> TableResult:
     """Total untouch level in the first four active intervals, for apps whose
     Table III maximum stays below ``t1`` (the paper's filtering rule)."""
     apps = list(apps or BENCHMARKS)
-    _prewarm_characterisation(apps, rates, scale, jobs, progress)
+    _prewarm_characterisation(apps, rates, scale, jobs, progress,
+                              fault_tolerance=fault_tolerance)
     rows = []
     for rate in rates:
         for app in apps:
-            result = _characterisation_run(app, rate, scale)
+            result = _characterisation_run(app, rate, scale,
+                                           fault_tolerance=fault_tolerance)
+            if result is None:
+                continue
             profile = untouch_profile(result)
             if profile.max_first_four >= t1:
                 continue
@@ -164,6 +185,7 @@ def sensitivity_fd(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> TableResult:
     """Untouch level of early intervals vs a fixed forward distance.
 
@@ -174,16 +196,22 @@ def sensitivity_fd(
     all_apps = list(regular_apps) + list(irregular_apps)
     for dist in distances:  # one batch per distance (distinct SimConfig)
         _prewarm_characterisation(
-            all_apps, [rate], scale, jobs, progress, forward_distance=dist
+            all_apps, [rate], scale, jobs, progress, forward_distance=dist,
+            fault_tolerance=fault_tolerance,
         )
     rows = []
     for dist in distances:
         for group, apps in (("regular", regular_apps), ("irregular", irregular_apps)):
             levels = []
             for app in apps:
-                result = _characterisation_run(app, rate, scale, forward_distance=dist)
+                result = _characterisation_run(app, rate, scale,
+                                               forward_distance=dist,
+                                               fault_tolerance=fault_tolerance)
+                if result is None:
+                    continue
                 levels.append(untouch_profile(result).total_first_four)
-            rows.append([dist, group, round(mean(levels), 1)])
+            if levels:
+                rows.append([dist, group, round(mean(levels), 1)])
     return TableResult(
         name="sensitivity-fd",
         description="early-interval untouch level vs fixed forward distance",
@@ -201,20 +229,24 @@ def sensitivity_t3(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> TableResult:
     """Average CPPE speedup over the baseline vs the T3 limit (Section VI-A)."""
     baseline_specs = [RunSpec(app, "baseline", rate, scale=scale)
                       for rate in rates for app in apps]
     cppe_specs = [RunSpec(app, "cppe", rate, scale=scale)
                   for rate in rates for app in apps]
-    if (jobs is not None and jobs > 1) or progress is not None:
-        run_matrix(baseline_specs, jobs=jobs, progress=progress)
+    if (jobs is not None and jobs > 1) or progress is not None \
+            or fault_tolerance is not None:
+        run_matrix(baseline_specs, jobs=jobs, progress=progress,
+                   fault_tolerance=fault_tolerance)
         for t3 in candidates:  # one batch per candidate (distinct SimConfig)
             run_matrix(
                 cppe_specs,
                 config=SimConfig(mhpe=MHPEConfig(t3=t3)),
                 jobs=jobs,
                 progress=progress,
+                fault_tolerance=fault_tolerance,
             )
     rows = []
     for t3 in candidates:
@@ -222,12 +254,24 @@ def sensitivity_t3(
         speedups = []
         for rate in rates:
             for app in apps:
-                base = run_one(RunSpec(app, "baseline", rate, scale=scale))
-                cand = run_one(
-                    RunSpec(app, "cppe", rate, scale=scale), config=t3_config
-                )
+                base_spec = RunSpec(app, "baseline", rate, scale=scale)
+                cand_spec = RunSpec(app, "cppe", rate, scale=scale)
+                if fault_tolerance is None:
+                    base = run_one(base_spec)
+                    cand = run_one(cand_spec, config=t3_config)
+                else:
+                    base = run_matrix(
+                        [base_spec], fault_tolerance=fault_tolerance
+                    )[base_spec.key()]
+                    cand = run_matrix(
+                        [cand_spec], config=t3_config,
+                        fault_tolerance=fault_tolerance,
+                    )[cand_spec.key()]
+                if base is None or cand is None:
+                    continue
                 speedups.append(cand.speedup_over(base))
-        rows.append([t3, round(mean(speedups), 3)])
+        if speedups:
+            rows.append([t3, round(mean(speedups), 3)])
     best = max(rows, key=lambda r: r[1])[0]
     return TableResult(
         name="sensitivity-t3",
@@ -244,22 +288,35 @@ def overhead(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     progress: Progress = None,
+    fault_tolerance: Tolerance = None,
 ) -> TableResult:
     """Structure storage overhead of CPPE (Section VI-C)."""
     apps = list(apps or BENCHMARKS)
-    if (jobs is not None and jobs > 1) or progress is not None:
+    if (jobs is not None and jobs > 1) or progress is not None \
+            or fault_tolerance is not None:
         run_matrix(
             [RunSpec(app, "cppe", rate, scale=scale)
              for rate in rates for app in apps],
             jobs=jobs,
             progress=progress,
+            fault_tolerance=fault_tolerance,
         )
     rows = []
     for rate in rates:
         reports = []
         for app in apps:
-            result = run_one(RunSpec(app, "cppe", rate, scale=scale))
+            spec = RunSpec(app, "cppe", rate, scale=scale)
+            if fault_tolerance is None:
+                result = run_one(spec)
+            else:
+                result = run_matrix(
+                    [spec], fault_tolerance=fault_tolerance
+                )[spec.key()]
+                if result is None:
+                    continue
             reports.append(overhead_report(result))
+        if not reports:
+            continue
         avg_entries = mean(r.total_entries for r in reports)
         avg_kb = mean(r.total_kb for r in reports)
         avg_evicted = mean(r.evicted_buffer_entries for r in reports)

@@ -58,6 +58,7 @@ _LANES: Dict[str, Tuple[int, str]] = {
     "run_start": (0, "run"),
     "run_end": (0, "run"),
     "memory_full": (0, "run"),
+    "worker_failure": (0, "run"),
     "fault": (1, "gmmu"),
     "migration": (1, "gmmu"),
     "eviction": (1, "gmmu"),

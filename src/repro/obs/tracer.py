@@ -40,6 +40,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     "pattern_mismatch", # faulted page mismatched a recorded pattern
     "pattern_delete",   # pattern entry removed (deletion scheme)
     "pcie",             # PCIe transfer charged (h2d migration / d2h writeback)
+    "worker_failure",   # harness: a spec's worker failed/timed out (no result)
 )
 
 _KNOWN_KINDS = frozenset(EVENT_KINDS)

@@ -1,0 +1,26 @@
+# expect: REPRO304
+# repro-lint: module=repro.harness.parallel
+"""Over-broad exception tuple around pool dispatch: a simulation-level
+RuntimeError travelling back through a future is misclassified as pool
+breakage and the whole batch silently re-runs serially."""
+
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+POOL_ERRORS = (OSError, BrokenProcessPool, RuntimeError)
+
+
+def work(spec):
+    return spec
+
+
+def fan_out(specs):
+    results = []
+    try:
+        with ProcessPoolExecutor() as pool:
+            futures = [pool.submit(work, spec) for spec in specs]
+            done, _ = wait(futures)
+            results = [f.result() for f in done]
+    except POOL_ERRORS:
+        return None  # "pool broke" — but it may have been a simulation bug
+    return results

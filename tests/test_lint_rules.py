@@ -194,6 +194,108 @@ class TestDeterminismRules:
         assert run_lint([path]).findings == []
 
 
+class TestPoolExceptionRule:
+    """REPRO304: over-broad exception handling around pool dispatch."""
+
+    HEADER = (
+        "# repro-lint: module=repro.harness.parallel\n"
+        "from concurrent.futures import ProcessPoolExecutor, wait\n"
+        "from concurrent.futures.process import BrokenProcessPool\n"
+        "class PoolError(Exception): pass\n"
+    )
+
+    def _lint(self, tmp_path, body):
+        path = tmp_path / "p.py"
+        path.write_text(self.HEADER + body)
+        return run_lint([path]).findings
+
+    def test_bare_except_around_dispatch_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "def f(pool, work, specs):\n"
+            "    try:\n"
+            "        return [pool.submit(work, s) for s in specs]\n"
+            "    except:\n"
+            "        return None\n",
+        )
+        assert [f.rule for f in findings] == ["REPRO304"]
+        assert "bare" in findings[0].message
+
+    def test_runtime_error_handler_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "def f(pool, work, specs):\n"
+            "    try:\n"
+            "        return [pool.submit(work, s) for s in specs]\n"
+            "    except RuntimeError:\n"
+            "        return None\n",
+        )
+        assert [f.rule for f in findings] == ["REPRO304"]
+
+    def test_overbroad_tuple_literal_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "def f(pool, futures):\n"
+            "    try:\n"
+            "        done, _ = wait(futures)\n"
+            "    except (BrokenProcessPool, OSError):\n"
+            "        return None\n",
+        )
+        assert [f.rule for f in findings] == ["REPRO304"]
+        assert "OSError" in findings[0].message
+
+    def test_module_level_tuple_binding_resolved(self, tmp_path):
+        # The historical _POOL_ERRORS shape: the broad names hide behind a
+        # module constant.
+        findings = self._lint(
+            tmp_path,
+            "POOL_ERRORS = (OSError, BrokenProcessPool, RuntimeError)\n"
+            "def f(pool, work, specs):\n"
+            "    try:\n"
+            "        return [pool.submit(work, s) for s in specs]\n"
+            "    except POOL_ERRORS:\n"
+            "        return None\n",
+        )
+        assert {f.rule for f in findings} == {"REPRO304"}
+        assert len(findings) == 2  # OSError and RuntimeError, not BrokenProcessPool
+
+    def test_narrow_handlers_allowed(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "def f(pool, work, specs):\n"
+            "    try:\n"
+            "        return [pool.submit(work, s) for s in specs]\n"
+            "    except (BrokenProcessPool, PoolError):\n"
+            "        return None\n",
+        )
+        assert findings == []
+
+    def test_broad_handler_without_dispatch_allowed(self, tmp_path):
+        # Pool *creation* (or anything else) may catch broadly; only
+        # dispatch/collection handlers are in scope.
+        findings = self._lint(
+            tmp_path,
+            "def make_pool():\n"
+            "    try:\n"
+            "        return ProcessPoolExecutor()\n"
+            "    except OSError:\n"
+            "        return None\n",
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_not_flagged(self, tmp_path):
+        path = tmp_path / "p.py"
+        path.write_text(
+            "# repro-lint: module=repro.harness.docgen\n"
+            "def f(pool, work, specs):\n"
+            "    try:\n"
+            "        return [pool.submit(work, s) for s in specs]\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert run_lint([path]).findings == []
+
+
 class TestRatchetRule:
     def test_real_pyproject_allowlist_matches_baseline(self):
         # The pyproject allowlist and the frozen baseline move together;

@@ -170,6 +170,46 @@ class TestSchemaInvalidation:
         assert v2.get(SPEC, FAST) is not None
         assert v1.get(SPEC, FAST) is not None  # both versions coexist on disk
 
+    def test_stats_scoped_to_own_schema(self, tmp_path, result):
+        # Regression: stats() used to glob every entry under the root, so a
+        # schema bump silently inflated entries/bytes with unreachable data.
+        root = tmp_path / "cache"
+        v1 = ResultCache(root, schema_version=1)
+        v1.put(SPEC, FAST, result)
+        v1.put(dataclasses.replace(SPEC, app="NW"), FAST, result)
+        v2 = ResultCache(root, schema_version=2)
+        v2.put(SPEC, FAST, result)
+        stats = v2.stats()
+        assert stats["entries"] == 1
+        assert stats["stale_entries"] == 2
+        assert stats["stale_bytes"] > 0
+        v1_stats = v1.stats()
+        assert v1_stats["entries"] == 2
+        assert v1_stats["stale_entries"] == 1
+
+    def test_unreadable_entry_counts_as_stale(self, tmp_path, result):
+        root = tmp_path / "cache"
+        cache = ResultCache(root, schema_version=1)
+        cache.put(SPEC, FAST, result)
+        junk = next(iter(root.rglob("*.pkl"))).with_name("junk.pkl")
+        junk.write_bytes(b"not a pickle")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["stale_entries"] == 1
+
+    def test_clear_spares_other_schema_generations(self, tmp_path, result):
+        # Regression: clear() used to delete every generation, so clearing
+        # after a bump destroyed entries a rolled-back checkout still needs.
+        root = tmp_path / "cache"
+        v1 = ResultCache(root, schema_version=1)
+        v1.put(SPEC, FAST, result)
+        v2 = ResultCache(root, schema_version=2)
+        v2.put(SPEC, FAST, result)
+        assert v2.clear() == 1
+        assert v2.get(SPEC, FAST) is None
+        assert v1.get(SPEC, FAST) is not None  # v1 generation untouched
+        assert v1.clear() == 1
+
 
 class TestRunOneIntegration:
     def test_disk_hit_after_memo_cleared(self):
