@@ -2,51 +2,56 @@
 
 These are conventional pytest-benchmark measurements (multiple rounds) of
 the simulation engine itself: accesses simulated per second on a hit-heavy
-stream and on a fault-heavy stream.  They guard against performance
-regressions in the hot paths (SM burst loop, TLB lookup, GMMU service).
+stream and on a fault-heavy stream, for **both** data-structure backends
+(``SimConfig.backend``).  They guard against performance regressions in
+the hot paths (SM burst loop, TLB lookup, GMMU service).
+
+The workload definitions live in :mod:`repro.harness.bench` — the same
+ones ``repro bench`` and the CI ratchet time — so pytest-benchmark runs
+and the committed ``BENCH_baseline.json`` measure the same thing.  Any
+randomised inputs (fault-case write flags) are drawn from the
+config-seeded ``SimConfig.make_rng`` stream, never from ambient RNG
+state.
 """
 
-import numpy as np
+import pytest
 
-from repro.config import SimConfig, SMConfig
 from repro.engine.simulator import Simulator
-from repro.workloads.base import Workload
+from repro.harness.bench import (
+    bench_config,
+    fault_heavy_workload,
+    hit_heavy_workload,
+)
+from repro.harness.cache import config_fingerprint
+
+BACKENDS = ["object", "array"]
 
 
-def _hit_heavy_workload():
-    # One footprint pass, then many re-touches: dominated by the hit path.
-    footprint = 512
-    sweep = np.arange(footprint, dtype=np.int64)
-    return Workload(
-        name="hits", pattern_type="I", footprint_pages=footprint,
-        accesses=np.concatenate([sweep] + [sweep] * 9),
-    )
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_hit_path_throughput(benchmark, backend):
+    workload = hit_heavy_workload()
 
-
-def _fault_heavy_workload():
-    # Cyclic thrash at 50%: nearly every access faults.
-    footprint = 512
-    sweep = np.arange(footprint, dtype=np.int64)
-    return Workload(
-        name="faults", pattern_type="IV", footprint_pages=footprint,
-        accesses=np.concatenate([sweep] * 4),
-    )
-
-
-CFG = SimConfig(sm=SMConfig(num_sms=8))
-
-
-def test_hit_path_throughput(benchmark):
     def run():
-        return Simulator(_hit_heavy_workload(), oversubscription=None, config=CFG).run()
+        return Simulator(
+            workload, oversubscription=None, config=bench_config(backend)
+        ).run()
 
     result = benchmark(run)
     benchmark.extra_info["accesses"] = result.stats.accesses
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["config_fingerprint"] = config_fingerprint(bench_config())
 
 
-def test_fault_path_throughput(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fault_path_throughput(benchmark, backend):
+    workload = fault_heavy_workload(config=bench_config())
+
     def run():
-        return Simulator(_fault_heavy_workload(), oversubscription=0.5, config=CFG).run()
+        return Simulator(
+            workload, oversubscription=0.5, config=bench_config(backend)
+        ).run()
 
     result = benchmark(run)
     benchmark.extra_info["far_faults"] = result.stats.far_faults
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["config_fingerprint"] = config_fingerprint(bench_config())

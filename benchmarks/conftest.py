@@ -3,7 +3,13 @@
 Each ``bench_*`` module regenerates one artifact of the paper's evaluation
 (figure, table, or sensitivity study), prints it, and records the headline
 numbers in ``benchmark.extra_info`` so ``pytest benchmarks/ --benchmark-only
---benchmark-json=...`` captures them.
+--benchmark-json=...`` captures them.  Every artifact run also gets a
+machine-readable sidecar: ``run_artifact`` stamps the simulation config
+fingerprint (the persistent result-cache key component) into
+``extra_info`` and, when ``REPRO_BENCH_JSON_DIR`` is set, writes one JSON
+document per artifact keyed by that fingerprint — so downstream tooling
+can join benchmark numbers to cached simulation results without parsing
+rendered tables.
 
 Simulation results are memoised per process (the same baseline run feeds
 several figures), so each bench's wall time covers only the simulations not
@@ -11,6 +17,10 @@ already performed by earlier benches in the session.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -26,6 +36,22 @@ def _no_disk_cache():
     cache_mod.set_active_cache(previous)
 
 
+def _artifact_fingerprint(extra_info):
+    """The config fingerprint keying this artifact's JSON sidecar.
+
+    Defaults to the fingerprint of the default ``SimConfig`` (what every
+    figure/table regeneration runs under); a bench that simulates under a
+    custom config passes ``config_fingerprint=...`` explicitly.
+    """
+    explicit = extra_info.get("config_fingerprint")
+    if explicit is not None:
+        return explicit
+    from repro.config import SimConfig
+    from repro.harness.cache import config_fingerprint
+
+    return config_fingerprint(SimConfig())
+
+
 def run_artifact(benchmark, capsys, fn, **extra_info):
     """Benchmark ``fn`` once, print its rendered artifact, record extras."""
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
@@ -35,6 +61,25 @@ def run_artifact(benchmark, capsys, fn, **extra_info):
         benchmark.extra_info["averages"] = {
             k: round(v, 3) for k, v in result.averages.items()
         }
+    fingerprint = _artifact_fingerprint(benchmark.extra_info)
+    benchmark.extra_info["config_fingerprint"] = fingerprint
+
+    json_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if json_dir:
+        out = Path(json_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "artifact": benchmark.name,
+            "config_fingerprint": fingerprint,
+            "extra_info": {
+                k: v
+                for k, v in benchmark.extra_info.items()
+                if isinstance(v, (str, int, float, bool, dict, list, type(None)))
+            },
+        }
+        path = out / f"{benchmark.name}.{fingerprint[:12]}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
     with capsys.disabled():
         print("\n" + result.render() + "\n")
     return result

@@ -34,6 +34,7 @@ from .rules import (
 # though nothing here references them by name.
 from . import cache_integrity as _cache_integrity  # noqa: F401
 from . import determinism as _determinism  # noqa: F401
+from . import hotpath as _hotpath  # noqa: F401
 from . import parallel_safety as _parallel_safety  # noqa: F401
 from . import ratchet as _ratchet  # noqa: F401
 

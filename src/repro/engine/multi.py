@@ -26,7 +26,6 @@ from typing import List, Optional, Sequence
 
 from ..config import SimConfig
 from ..errors import SimulationError, ThrashingCrash
-from ..memsim.page_table import PageTable
 from ..memsim.system import MemorySystem
 from ..obs import DISABLED, Observability
 from ..policies.base import EvictionPolicy
@@ -34,7 +33,7 @@ from ..prefetch.base import Prefetcher
 from ..translation.hierarchy import TranslationHierarchy
 from ..workloads.base import Workload
 from .events import EventQueue
-from .simulator import DEFAULT_MAX_EVENTS, SimulationResult
+from .simulator import DEFAULT_MAX_EVENTS, SimulationResult, build_page_table
 from .sm import StreamingMultiprocessor
 from .stats import SimStats, publish_summary
 
@@ -93,7 +92,7 @@ class ShardedSimulator:
         self.translations: List[Optional[TranslationHierarchy]] = []
         self.systems: List[MemorySystem] = []
         for i, frames in enumerate(split_capacity(self.capacity, self.instances)):
-            page_table = PageTable(self.config.translation.walker.levels)
+            page_table = build_page_table(self.config, workload)
             translation: Optional[TranslationHierarchy] = None
             if self.config.translation.enabled:
                 # Sized for the global SM-id space: an SM only ever queries

@@ -20,6 +20,7 @@ from typing import Optional
 
 from ..config import SimConfig
 from ..errors import SimulationError, ThrashingCrash
+from ..memsim.array_backend import ArrayPageTable
 from ..memsim.page_table import PageTable
 from ..memsim.system import MemorySystem
 from ..obs import DISABLED, Observability
@@ -33,10 +34,27 @@ from .events import EventQueue
 from .sm import StreamingMultiprocessor
 from .stats import SimStats, publish_summary
 
-__all__ = ["Simulator", "SimulationResult"]
+__all__ = ["Simulator", "SimulationResult", "build_page_table"]
 
 #: Safety valve: no experiment in the reproduction needs more events.
 DEFAULT_MAX_EVENTS = 100_000_000
+
+
+def build_page_table(config: SimConfig, workload: Workload) -> PageTable:
+    """Page table for ``workload`` under ``config.backend``.
+
+    The array backend pre-sizes its flat frame ledger to the workload's
+    rebased VPN range so the simulation itself never grows the arrays (the
+    ``_ensure`` growth path exists for robustness, not the steady state).
+    """
+    levels = config.translation.walker.levels
+    if config.backend != "array":
+        return PageTable(levels)
+    return ArrayPageTable(
+        levels,
+        origin_hint=workload.base_vpn,
+        size_hint=workload.footprint_pages + 1,
+    )
 
 
 @dataclass
@@ -109,7 +127,7 @@ class Simulator:
 
         self.events = EventQueue()
         self.stats = SimStats()
-        page_table = PageTable(self.config.translation.walker.levels)
+        page_table = build_page_table(self.config, workload)
         self.translation: Optional[TranslationHierarchy] = None
         if self.config.translation.enabled:
             self.translation = TranslationHierarchy(

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 __all__ = ["IntervalRecord", "SimStats", "publish_summary"]
 
 
@@ -147,6 +149,43 @@ class SimStats:
             "bytes_device_to_host": self.bytes_device_to_host,
             "final_strategy": self.final_strategy,
         }
+
+    def interval_arrays(self) -> Dict[str, "np.ndarray"]:
+        """Interval telemetry as parallel int64 numpy columns.
+
+        Vectorized companion to :meth:`interval_rows` for aggregate
+        consumers (benchmark reports, figure pipelines): one
+        ``np.int64`` array per numeric column, all the same length, in
+        interval order.  Intentionally a method, not a cached field —
+        the pickle byte layout of cached results must not change.
+        """
+        recs = self.intervals
+        cols = (
+            "index", "end_time", "forward_distance", "untouch_total",
+            "wrong_evictions", "faults", "chunks_evicted",
+        )
+        return {
+            name: np.fromiter(
+                (getattr(r, name) for r in recs), dtype=np.int64, count=len(recs)
+            )
+            for name in cols
+        }
+
+    def untouch_prefix_stats(self, n: int = 4) -> Dict[str, int]:
+        """Vectorized Table III/IV statistics over the first ``n`` intervals.
+
+        Returns ``{"max": ..., "total": ...}`` — equal by construction to
+        :meth:`max_untouch_first_n_intervals` /
+        :meth:`total_untouch_first_n_intervals`.
+        """
+        head = np.fromiter(
+            (r.untouch_total for r in self.intervals[:n]),
+            dtype=np.int64,
+            count=min(n, len(self.intervals)),
+        )
+        if head.size == 0:
+            return {"max": 0, "total": 0}
+        return {"max": int(head.max()), "total": int(head.sum())}
 
     def interval_rows(self) -> List[Dict[str, object]]:
         """The interval telemetry as flat dicts (reporting convenience;

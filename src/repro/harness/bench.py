@@ -1,0 +1,349 @@
+"""Engine throughput benchmark + CI ratchet arithmetic.
+
+This module is the machine-readable contract behind ``repro bench`` and the
+CI ``bench`` job: it times the simulation engine on both data-structure
+backends (``SimConfig.backend = "object" | "array"``), verifies the runs
+are byte-identical while it is at it, and compares the measurement against
+a committed baseline (``BENCH_baseline.json``).
+
+Two deliberate design points:
+
+* **Ratchet on speedup ratios, not absolute times.**  Wall-clock per fault
+  on a CI runner is not comparable to wall-clock on the machine that
+  committed the baseline.  The ``array``/``object`` speedup measured within
+  one process on one machine *is* comparable across machines, so the
+  ratchet enforces (a) the per-case speedup does not regress below the
+  baseline speedup beyond a tolerance band, and (b) the headline case
+  stays above an absolute floor (``min_speedup``).  Absolute per-access /
+  per-fault times are recorded for trend inspection only.
+
+* **Equivalence is checked on every benchmark run.**  A fast path that
+  drifted from the oracle is worse than a slow one; ``identical`` is part
+  of the emitted JSON and a hard ratchet failure.
+
+Harness code (wall-clock reads are allowed here; see
+``repro.devtools.boundary``).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SimConfig, SMConfig
+from ..workloads.base import Workload
+from .cache import _PICKLE_PROTOCOL, config_fingerprint
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCheck",
+    "BenchReport",
+    "bench_config",
+    "compare_to_baseline",
+    "hit_heavy_workload",
+    "fault_heavy_workload",
+    "load_baseline",
+    "run_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: The acceptance headline: the array backend must deliver at least this
+#: speedup on the headline (hit-heavy engine-throughput) case.
+DEFAULT_MIN_SPEEDUP = 2.0
+
+#: Relative regression band for speedup ratios (CI runners are noisy).
+DEFAULT_TOLERANCE = 0.15
+
+_HEADLINE_CASE = "hit_heavy"
+
+
+def bench_config(backend: str = "object") -> SimConfig:
+    """The fixed engine-benchmark configuration (8 SMs, default memory)."""
+    return SimConfig(sm=SMConfig(num_sms=8), backend=backend)
+
+
+def hit_heavy_workload(sweeps: int = 200) -> Workload:
+    """One footprint pass then ``sweeps - 1`` re-touches of 512 pages.
+
+    The footprint fits the L2 TLB, so after the cold pass nearly every
+    access resolves in the translation hierarchy: this is the SM burst-loop
+    / TLB hot path, the headline engine-throughput case.
+    """
+    footprint = 512
+    sweep = np.arange(footprint, dtype=np.int64)
+    return Workload(
+        name="bench-hits",
+        pattern_type="I",
+        footprint_pages=footprint,
+        accesses=np.concatenate([sweep] * sweeps),
+    )
+
+
+def fault_heavy_workload(sweeps: int = 6, config: Optional[SimConfig] = None) -> Workload:
+    """Cyclic sweeps over 2048 pages — run at 50% oversubscription, nearly
+    every chunk faults and thrashes through eviction.
+
+    Write flags are drawn from the config-seeded simulation RNG
+    (``SimConfig.make_rng``) so dirty-page writeback is exercised and the
+    stream stays reproducible from the config seed alone.
+    """
+    cfg = config or bench_config()
+    rng = cfg.make_rng()
+    footprint = 2048
+    sweep = np.arange(footprint, dtype=np.int64)
+    accesses = np.concatenate([sweep] * sweeps)
+    writes = np.fromiter(
+        (rng.getrandbits(1) for _ in range(accesses.size)),
+        dtype=bool,
+        count=accesses.size,
+    )
+    return Workload(
+        name="bench-faults",
+        pattern_type="IV",
+        footprint_pages=footprint,
+        accesses=accesses,
+        writes=writes,
+    )
+
+
+@dataclass
+class _CaseSpec:
+    name: str
+    make_workload: Callable[[], Workload]
+    oversubscription: Optional[float]
+    unit: str  # denominator for the per-event time: "access" | "fault"
+
+
+def _case_specs(quick: bool) -> List[_CaseSpec]:
+    # The hit case needs enough re-touch sweeps that the cold-pass faults
+    # (512 of them, at fault-path speed) are amortised away — otherwise the
+    # "hit path" benchmark quietly measures the fault path.
+    hit_sweeps = 100 if quick else 200
+    fault_sweeps = 2 if quick else 6
+    return [
+        _CaseSpec(
+            name="hit_heavy",
+            make_workload=lambda: hit_heavy_workload(sweeps=hit_sweeps),
+            oversubscription=None,
+            unit="access",
+        ),
+        _CaseSpec(
+            name="fault_heavy",
+            make_workload=lambda: fault_heavy_workload(
+                sweeps=fault_sweeps, config=bench_config()
+            ),
+            oversubscription=0.5,
+            unit="fault",
+        ),
+    ]
+
+
+def _time_run(
+    workload: Workload,
+    oversubscription: Optional[float],
+    backend: str,
+    rounds: int,
+) -> Tuple[float, bytes, int, int]:
+    """Best-of-``rounds`` wall time; returns (best_s, result_bytes, accesses, faults)."""
+    from ..engine.simulator import Simulator
+
+    best = float("inf")
+    payload = b""
+    accesses = faults = 0
+    for _ in range(rounds + 1):  # first round is warmup
+        sim = Simulator(
+            workload,
+            oversubscription=oversubscription,
+            config=bench_config(backend),
+        )
+        start = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        payload = pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+        accesses = result.stats.accesses
+        faults = result.stats.far_faults
+    return best, payload, accesses, faults
+
+
+def run_bench(quick: bool = False, rounds: Optional[int] = None) -> Dict[str, Any]:
+    """Time both backends on each case and return the bench document.
+
+    The document is JSON-serialisable and keyed by the benchmark config's
+    cache fingerprint, so baselines recorded under a different simulation
+    configuration are never compared against.
+    """
+    if rounds is None:
+        rounds = 3 if quick else 5
+    cases: Dict[str, Any] = {}
+    for spec in _case_specs(quick):
+        workload = spec.make_workload()
+        obj_s, obj_bytes, accesses, faults = _time_run(
+            workload, spec.oversubscription, "object", rounds
+        )
+        arr_s, arr_bytes, _, _ = _time_run(
+            workload, spec.oversubscription, "array", rounds
+        )
+        events = faults if spec.unit == "fault" else accesses
+        cases[spec.name] = {
+            "unit": spec.unit,
+            "accesses": accesses,
+            "far_faults": faults,
+            "object": {
+                "best_s": obj_s,
+                f"us_per_{spec.unit}": 1e6 * obj_s / max(events, 1),
+            },
+            "array": {
+                "best_s": arr_s,
+                f"us_per_{spec.unit}": 1e6 * arr_s / max(events, 1),
+            },
+            "speedup": obj_s / arr_s if arr_s > 0 else float("inf"),
+            "identical": obj_bytes == arr_bytes,
+        }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "rounds": rounds,
+        "config_fingerprint": config_fingerprint(bench_config()),
+        "headline_case": _HEADLINE_CASE,
+        "cases": cases,
+    }
+
+
+@dataclass
+class BenchCheck:
+    """One ratchet comparison."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class BenchReport:
+    """Outcome of :func:`compare_to_baseline`."""
+
+    ok: bool
+    checks: List[BenchCheck] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{mark}] {check.name}: {check.detail}")
+        for warning in self.warnings:
+            lines.append(f"[warn] {warning}")
+        lines.append("ratchet: " + ("OK" if self.ok else "REGRESSION"))
+        return "\n".join(lines)
+
+
+def compare_to_baseline(
+    current: Dict[str, Any],
+    baseline: Optional[Dict[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> BenchReport:
+    """Ratchet ``current`` against ``baseline``.
+
+    Checks, in order:
+
+    * every case ran byte-identical across backends (hard failure);
+    * the headline case's speedup stays >= ``min_speedup * (1 - tolerance)``
+      (absolute floor — machine-independent by construction);
+    * per case, the speedup has not regressed below
+      ``baseline_speedup * (1 - tolerance)``.
+
+    A missing baseline (first run, new machine class) passes with a
+    warning; a baseline recorded under a different bench config or schema
+    is ignored the same way.
+    """
+    report = BenchReport(ok=True)
+
+    for name, case in current["cases"].items():
+        identical = bool(case.get("identical"))
+        report.checks.append(
+            BenchCheck(
+                name=f"{name}.identical",
+                passed=identical,
+                detail="array backend byte-identical to object backend"
+                if identical
+                else "array backend DIVERGED from object backend",
+            )
+        )
+        if not identical:
+            report.ok = False
+
+    headline = current["cases"].get(current.get("headline_case", _HEADLINE_CASE))
+    if headline is not None:
+        floor = min_speedup * (1.0 - tolerance)
+        passed = headline["speedup"] >= floor
+        report.checks.append(
+            BenchCheck(
+                name=f"{current.get('headline_case', _HEADLINE_CASE)}.min_speedup",
+                passed=passed,
+                detail=(
+                    f"speedup {headline['speedup']:.2f}x vs floor {floor:.2f}x "
+                    f"(min {min_speedup:.2f}x, tolerance {tolerance:.0%})"
+                ),
+            )
+        )
+        if not passed:
+            report.ok = False
+
+    if baseline is None:
+        report.warnings.append(
+            "no baseline found — recording this run as the first measurement"
+        )
+        return report
+    if baseline.get("schema") != current["schema"]:
+        report.warnings.append(
+            f"baseline schema {baseline.get('schema')!r} != {current['schema']!r}"
+            " — baseline ignored"
+        )
+        return report
+    if baseline.get("config_fingerprint") != current["config_fingerprint"]:
+        report.warnings.append(
+            "baseline was recorded under a different bench config — ignored"
+        )
+        return report
+
+    for name, case in current["cases"].items():
+        base_case = baseline.get("cases", {}).get(name)
+        if base_case is None:
+            report.warnings.append(f"case {name!r} missing from baseline — skipped")
+            continue
+        floor = base_case["speedup"] * (1.0 - tolerance)
+        passed = case["speedup"] >= floor
+        report.checks.append(
+            BenchCheck(
+                name=f"{name}.speedup_ratchet",
+                passed=passed,
+                detail=(
+                    f"speedup {case['speedup']:.2f}x vs baseline "
+                    f"{base_case['speedup']:.2f}x (floor {floor:.2f}x)"
+                ),
+            )
+        )
+        if not passed:
+            report.ok = False
+    return report
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Any]]:
+    """Parse a baseline JSON file; ``None`` when absent or unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    return data

@@ -142,6 +142,14 @@ class ChunkChain:
 
     # --- public operations ----------------------------------------------------
 
+    def new_entry(self, chunk_id: int, interval: int) -> ChunkEntry:
+        """Fresh (all-clear) entry for a chunk about to become resident.
+
+        A factory rather than a bare constructor call so array-backed
+        chains can hand out slot-backed handles instead of heap objects.
+        """
+        return ChunkEntry(chunk_id, interval)
+
     def insert_tail(self, entry: ChunkEntry) -> None:
         """Insert at the MRU position (normal arrival of a migrated chunk)."""
         if entry.chunk_id in self._index:

@@ -28,16 +28,22 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 from ..config import SimConfig, UVMConfig
 from ..engine.events import EventQueue
 from ..engine.stats import IntervalRecord, SimStats
-from ..errors import SimulationError, ThrashingCrash
+from ..errors import CapacityError, SimulationError, ThrashingCrash
 from ..obs import DISABLED, Observability
 from ..policies.base import EvictionPolicy, PolicyContext
+from ..policies.hpe import HPEPolicy
+from ..policies.lru import LRUPolicy
+from ..policies.mhpe import MHPEPolicy
+from ..policies.random_policy import RandomPolicy
+from ..policies.reserved_lru import ReservedLRUPolicy
 from ..prefetch.base import PrefetchContext, Prefetcher
 from ..translation.hierarchy import TranslationHierarchy
+from .array_backend import ArrayChunkChain, ArrayCoverage, ArrayPageTable
 from .chunk_chain import ChunkChain, ChunkEntry
 from .device_memory import DeviceMemory
 from .fault import FarFault, InFlightMigration
@@ -51,7 +57,32 @@ __all__ = [
     "EvictionService",
     "MigrationScheduler",
     "MemorySystem",
+    "policy_touch_kind",
 ]
+
+
+def policy_touch_kind(policy: EvictionPolicy) -> Optional[str]:
+    """Classify a policy's ``on_page_touched`` for the array fast path.
+
+    Exact ``type()`` matches only: a subclass may override the hook, so it
+    falls through to ``None`` (= call the hook dynamically).  The returned
+    kind names the touch side-effect recipe the fast paths replay inline:
+
+    * ``"lru"``  — move to tail, refresh ``last_ref_interval``;
+    * ``"hpe"``  — saturating counter bump, move to tail, refresh;
+    * ``"mhpe"`` — move at most once per interval, refresh on first touch;
+    * ``"ref"``  — refresh ``last_ref_interval`` only.
+    """
+    ptype = type(policy)
+    if ptype is LRUPolicy or ptype is ReservedLRUPolicy:
+        return "lru"
+    if ptype is HPEPolicy:
+        return "hpe"
+    if ptype is MHPEPolicy:
+        return "mhpe"
+    if ptype is RandomPolicy:
+        return "ref"
+    return None
 
 
 class FrameLedger:
@@ -129,9 +160,15 @@ class IntervalClock:
 
         A single batch can straddle a boundary (or several), so this loops:
         each completed interval gets its own record and policy callback.
+        The number of crossings is computed arithmetically up front (the
+        vectorized form of the old per-boundary comparison loop); the loop
+        body runs once per completed interval, as before.
         """
         self._pages_migrated += migrated_pages
-        while self._pages_migrated >= (self._interval_index + 1) * self.uvm.interval_pages:
+        crossings = (
+            self._pages_migrated // self.uvm.interval_pages - self._interval_index
+        )
+        for _ in range(crossings):
             record = IntervalRecord(
                 index=self._interval_index,
                 end_time=time,
@@ -275,6 +312,9 @@ class EvictionService:
         self._memory_full_seen = False
         self._footprint_pages = footprint_pages
         self._m_evictions = obs.metrics.counter("gmmu.chunks_evicted")
+        #: Maintained by MemorySystem (chain and page table must both be
+        #: array-backed before the fused eviction path is safe).
+        self._use_array = False
 
     def ensure_capacity(self, frames_needed: int, time: int) -> int:
         """Evict chunks until ``frames_needed`` frames are free.
@@ -304,6 +344,9 @@ class EvictionService:
 
     def evict_chunk(self, entry: ChunkEntry, time: int) -> None:
         """Unmap every resident page of ``entry`` and retire its metadata."""
+        if self._use_array:
+            self._evict_chunk_array(entry, time)
+            return
         ppc = self.uvm.pages_per_chunk
         base = entry.chunk_id * ppc
         dirty_pages = 0
@@ -357,6 +400,99 @@ class EvictionService:
         self.prefetcher.on_chunk_evicted(
             entry.chunk_id,
             entry.touched_mask,
+            snapshot.untouch_level(),
+            self.policy.current_strategy,
+            time=time,
+        )
+        self._check_crash_budget()
+
+    def _evict_chunk_array(self, entry: ChunkEntry, time: int) -> None:
+        """Array-backend eviction: raw mask iteration over flat arrays with
+        the TLB shootdown inlined (byte-identical to the object path)."""
+        ppc = self.uvm.pages_per_chunk
+        chain = self.chain
+        cid = entry.chunk_id
+        li = cid - chain._origin
+        # Masks captured before residency is cleared — the snapshot below
+        # must reflect the chunk as it stood at unmap time.
+        res_mask = chain._res[li]
+        tch_mask = chain._tch[li]
+        pfm_mask = chain._pfm[li]
+        counter = chain._ctr[li]
+        insert_interval = chain._iint[li]
+        base = cid * ppc
+        pt = self.page_table
+        p_origin = pt._origin
+        frames = pt._frames
+        drt = pt._dirty
+        free_append = self.device._free.append
+        translation = self.translation
+        if translation is not None:
+            l1_sets_all = [t._sets for t in translation.l1_tlbs]
+            l1_num = translation.l1_tlbs[0]._num_sets if l1_sets_all else 1
+            l2 = translation.l2_tlb
+            l2_sets = l2._sets
+            l2_num = l2._num_sets
+        shootdowns = 0
+        dirty_pages = 0
+        evicted_pages = 0
+        m = res_mask
+        while m:  # ascending page order, like the object path's range loop
+            low = m & -m
+            m ^= low
+            vpn = base + low.bit_length() - 1
+            idx = vpn - p_origin
+            frame = frames[idx]
+            if frame < 0:
+                raise SimulationError(f"vpn {vpn} not mapped")
+            frames[idx] = -1
+            free_append(frame)
+            if drt[idx]:
+                dirty_pages += 1
+            evicted_pages += 1
+            if translation is not None:
+                hit = False
+                for sets in l1_sets_all:
+                    s = sets[vpn % l1_num]
+                    if vpn in s:
+                        del s[vpn]
+                        hit = True
+                s2 = l2_sets[vpn % l2_num]
+                if vpn in s2:
+                    del s2[vpn]
+                    hit = True
+                if hit:
+                    shootdowns += 1
+        chain._res[li] = 0
+        pt._resident -= evicted_pages
+        self.device._allocated -= evicted_pages
+        if shootdowns:
+            self.stats.tlb_shootdowns += shootdowns
+        self.chain.remove(cid)
+        self.stats.chunks_evicted += 1
+        self.stats.pages_evicted += evicted_pages
+        self.stats.dirty_pages_written_back += dirty_pages
+        self.clock.note_eviction()
+        self._m_evictions.inc()
+        if dirty_pages:
+            self.pcie.transfer_to_host(dirty_pages, time=time)
+            self.stats.bytes_device_to_host = self.pcie.bytes_to_host
+        self.stats.prefetched_pages_touched += bin(pfm_mask & tch_mask).count("1")
+        snapshot = ChunkEntry(cid, insert_interval)
+        snapshot.resident_mask = tch_mask | pfm_mask
+        snapshot.touched_mask = tch_mask
+        snapshot.prefetch_mask = pfm_mask
+        snapshot.counter = counter
+        if self._trace.enabled:
+            self._trace.emit(
+                "eviction", time, chunk=cid, pages=evicted_pages,
+                dirty=dirty_pages, untouch=snapshot.untouch_level(),
+                strategy=self.policy.current_strategy,
+            )
+        self.policy.on_chunk_evicted(snapshot, time)
+        self.prefetcher.on_chunk_evicted(
+            cid,
+            tch_mask,
             snapshot.untouch_level(),
             self.policy.current_strategy,
             time=time,
@@ -418,6 +554,8 @@ class MigrationScheduler:
         self._next_migration_token = 0
         self._active_services = 0
         self._h_batch = obs.metrics.histogram("gmmu.batch_pages")
+        #: Maintained by MemorySystem (see EvictionService._use_array).
+        self._use_array = False
 
     # ------------------------------------------------------- service loop
 
@@ -452,11 +590,31 @@ class MigrationScheduler:
         """
         if self.frontend.covering(fault.vpn) is not None or fault.vpn in in_batch:
             return None
-        resident = self.page_table.is_resident
         covered = self.frontend.covered
-        skip: Callable[[int], bool] = (
-            lambda vpn: resident(vpn) or vpn in covered or vpn in in_batch
-        )
+        if self._use_array:
+            # Raw-array skip predicate: prefetchers probe it once per
+            # candidate page, so the dict/method indirections add up.
+            pt = self.page_table
+            frames = pt._frames
+            p_origin = pt._origin
+            nf = len(frames)
+            slots = covered._slots
+            c_origin = covered._origin
+            ns = len(slots)
+
+            def skip(vpn: int) -> bool:
+                i = vpn - p_origin
+                if 0 <= i < nf and frames[i] >= 0:
+                    return True
+                j = vpn - c_origin
+                if 0 <= j < ns and slots[j] is not None:
+                    return True
+                return vpn in in_batch
+        else:
+            resident = self.page_table.is_resident
+            skip = (
+                lambda vpn: resident(vpn) or vpn in covered or vpn in in_batch
+            )
         pages = self.prefetcher.pages_to_migrate(
             fault.vpn, self.ledger.memory_full, skip, time=fault.time
         )
@@ -480,13 +638,29 @@ class MigrationScheduler:
         (UVM batch processing; the paper's configuration services one fault
         group per op).
         """
-        if self.page_table.is_resident(fault.vpn):
-            fault.on_resolve(time)
-            return False
-        covering = self.frontend.covering(fault.vpn)
-        if covering is not None:
-            self.frontend.merge(fault, covering)
-            return False
+        if self._use_array:
+            # Flattened resident/covered checks: most queued faults resolve
+            # or merge right here once their chunk's migration lands.
+            pt = self.page_table
+            frames = pt._frames
+            idx = fault.vpn - pt._origin
+            if 0 <= idx < len(frames) and frames[idx] >= 0:
+                fault.on_resolve(time)
+                return False
+            covering = self.frontend.covered.get(fault.vpn)
+            if covering is not None:
+                covering.attach(fault)
+                self.stats.merged_faults += 1
+                self.frontend._m_merged.value += 1
+                return False
+        else:
+            if self.page_table.is_resident(fault.vpn):
+                fault.on_resolve(time)
+                return False
+            covering = self.frontend.covering(fault.vpn)
+            if covering is not None:
+                self.frontend.merge(fault, covering)
+                return False
 
         in_batch: Set[int] = set()
         pages = self._gather_pages(fault, in_batch)
@@ -560,33 +734,38 @@ class MigrationScheduler:
     def complete_migration(self, mig: InFlightMigration, time: int) -> None:
         ppc = self.uvm.pages_per_chunk
         demand_vpns = {f.vpn for f in mig.faults}
-        # Group pages by chunk (pattern prefetch stays within one chunk, but
-        # the tree prefetcher can cross chunks).
-        by_chunk: Dict[int, List[int]] = {}
-        for vpn in sorted(mig.pages):
-            by_chunk.setdefault(vpn // ppc, []).append(vpn)
+        if self._use_array:
+            self._install_pages_array(mig, demand_vpns, time)
+        else:
+            # Group pages by chunk (pattern prefetch stays within one chunk,
+            # but the tree prefetcher can cross chunks).
+            by_chunk: Dict[int, List[int]] = {}
+            for vpn in sorted(mig.pages):
+                by_chunk.setdefault(vpn // ppc, []).append(vpn)
 
-        for chunk_id, vpns in by_chunk.items():
-            entry = self.chain.get(chunk_id)
-            is_new = entry is None
-            if entry is None:
-                entry = ChunkEntry(chunk_id, self.clock.current_interval)
-            for vpn in vpns:
-                frame = self.device.allocate()
-                self.page_table.map(vpn, frame)
-                idx = vpn % ppc
-                entry.mark_resident(idx)
-                if vpn in demand_vpns:
-                    self.stats.demand_pages += 1
-                else:
-                    entry.prefetch_mask |= 1 << idx
-                    self.stats.prefetched_pages += 1
-                self.frontend.uncover(vpn)
-            # HPE-style counter pollution: migration bumps the counter by the
-            # number of pages migrated (Inefficiency 1 of the paper).
-            entry.counter = min(16, entry.counter + len(vpns))
-            if is_new:
-                self.policy.insert_chunk(entry, time)
+            for chunk_id, vpns in by_chunk.items():
+                entry = self.chain.get(chunk_id)
+                is_new = entry is None
+                if entry is None:
+                    entry = self.chain.new_entry(
+                        chunk_id, self.clock.current_interval
+                    )
+                for vpn in vpns:
+                    frame = self.device.allocate()
+                    self.page_table.map(vpn, frame)
+                    idx = vpn % ppc
+                    entry.mark_resident(idx)
+                    if vpn in demand_vpns:
+                        self.stats.demand_pages += 1
+                    else:
+                        entry.prefetch_mask |= 1 << idx
+                        self.stats.prefetched_pages += 1
+                    self.frontend.uncover(vpn)
+                # HPE-style counter pollution: migration bumps the counter by
+                # the number of pages migrated (Inefficiency 1 of the paper).
+                entry.counter = min(16, entry.counter + len(vpns))
+                if is_new:
+                    self.policy.insert_chunk(entry, time)
 
         migrated = len(mig.pages)
         self.ledger.reserved -= migrated
@@ -606,6 +785,79 @@ class MigrationScheduler:
             fault.on_resolve(time)
         self.stats.chain_length_peak = self.chain.length_peak
         self.pump(time)
+
+    def _install_pages_array(
+        self, mig: InFlightMigration, demand_vpns: Set[int], time: int
+    ) -> None:
+        """Array-backend page install: grow the flat arrays once for the
+        batch extremes, then write frames/masks with raw indexing.  Keeps
+        the exact per-chunk, ascending-vpn order of the object path."""
+        ppc = self.uvm.pages_per_chunk
+        pages = sorted(mig.pages)
+        chain = self.chain
+        pt = self.page_table
+        # Arrays are contiguous, so covering both extremes covers the batch.
+        pt._ensure(pages[0])
+        pt._ensure(pages[-1])
+        chain._ensure(pages[0] // ppc)
+        chain._ensure(pages[-1] // ppc)
+        p_origin = pt._origin
+        frames = pt._frames
+        acc = pt._accessed
+        drt = pt._dirty
+        c_origin = chain._origin
+        res_l = chain._res
+        pfm_l = chain._pfm
+        ctr_l = chain._ctr
+        inch = chain._inch
+        device = self.device
+        free = device._free
+        if len(free) < len(pages):
+            raise CapacityError("device memory exhausted")
+        uncover = self.frontend.uncover
+        interval = self.clock.current_interval
+        demand = 0
+        prefetched = 0
+        by_chunk: Dict[int, List[int]] = {}
+        for vpn in pages:
+            by_chunk.setdefault(vpn // ppc, []).append(vpn)
+        for chunk_id, vpns in by_chunk.items():
+            li = chunk_id - c_origin
+            is_new = not inch[li]
+            if is_new:
+                chain.new_entry(chunk_id, interval)
+            base = chunk_id * ppc
+            res = res_l[li]
+            pfm = pfm_l[li]
+            for vpn in vpns:
+                idx = vpn - p_origin
+                if frames[idx] >= 0:
+                    raise SimulationError(f"vpn {vpn} already mapped")
+                frames[idx] = free.pop()
+                acc[idx] = 0
+                drt[idx] = 0
+                bit = 1 << (vpn - base)
+                res |= bit
+                if vpn in demand_vpns:
+                    demand += 1
+                else:
+                    pfm |= bit
+                    prefetched += 1
+                uncover(vpn)
+            res_l[li] = res
+            pfm_l[li] = pfm
+            ctr_l[li] = min(16, ctr_l[li] + len(vpns))
+            if is_new:
+                self.policy.insert_chunk(chain._handle(li), time)
+        n = len(pages)
+        device._allocated += n
+        if device._allocated > device.peak_allocated:
+            device.peak_allocated = device._allocated
+        pt._resident += n
+        if pt._resident > pt.resident_peak:
+            pt.resident_peak = pt._resident
+        self.stats.demand_pages += demand
+        self.stats.prefetched_pages += prefetched
 
 
 class MemorySystem:
@@ -638,11 +890,15 @@ class MemorySystem:
         self.obs = obs or DISABLED
 
         self.device = DeviceMemory(capacity_frames)
-        self._page_table = (
-            translation.page_table if translation is not None
-            else PageTable(config.translation.walker.levels)
-        )
-        self.chain = ChunkChain()
+        self._use_array = config.backend == "array"
+        if translation is not None:
+            self._page_table = translation.page_table
+        elif self._use_array:
+            self._page_table = ArrayPageTable(config.translation.walker.levels)
+        else:
+            self._page_table = PageTable(config.translation.walker.levels)
+        self.chain = ArrayChunkChain() if self._use_array else ChunkChain()
+        self._policy_kind = policy_touch_kind(policy)
         self.pcie = PCIeLink(
             self.uvm.interconnect_gbps, self.uvm.clock_hz, self.uvm.page_size,
             obs=self.obs,
@@ -658,6 +914,10 @@ class MemorySystem:
         self.frontend = FaultFrontend(
             self.uvm, stats, policy, self.clock, self.obs
         )
+        if self._use_array:
+            # Swap the coverage dict for the origin-offset slot list; the
+            # frontend/scheduler code only uses the shared dict surface.
+            self.frontend.covered = ArrayCoverage()
         self.evictor = EvictionService(
             self.uvm, self.device, self._page_table, self.chain, self.pcie,
             self.ledger, policy, prefetcher, translation, stats, self.clock,
@@ -682,8 +942,25 @@ class MemorySystem:
         prefetcher.attach(
             PrefetchContext(config=config, stats=stats, obs=self.obs)
         )
+        self._refresh_backend_flags()
 
     # ------------------------------------------------------------------ API
+
+    def _refresh_backend_flags(self) -> None:
+        """Recompute the fast-path eligibility after (re)binding structures.
+
+        The fused array paths need *both* the chain and the page table to be
+        array-backed; an externally installed plain :class:`PageTable`
+        (possible through the ``page_table`` setter) falls back to the
+        generic stage code, which works on either backend through the
+        shared method surface.
+        """
+        fast = isinstance(self.chain, ArrayChunkChain) and isinstance(
+            self._page_table, ArrayPageTable
+        )
+        self._fast = fast
+        self.evictor._use_array = fast
+        self.scheduler._use_array = fast
 
     @property
     def page_table(self) -> PageTable:
@@ -696,6 +973,7 @@ class MemorySystem:
         self._page_table = page_table
         self.evictor.page_table = page_table
         self.scheduler.page_table = page_table
+        self._refresh_backend_flags()
 
     @property
     def current_interval(self) -> int:
@@ -711,6 +989,44 @@ class MemorySystem:
 
     def touch_page(self, sm_id: int, vpn: int, is_write: bool, time: int) -> None:
         """Record a successful access to a resident page."""
+        if self._fast:
+            pt = self._page_table
+            idx = vpn - pt._origin
+            frames = pt._frames
+            if not (0 <= idx < len(frames)) or frames[idx] < 0:
+                raise SimulationError(f"access to non-resident vpn {vpn}")
+            pt._accessed[idx] = 1
+            if is_write:
+                pt._dirty[idx] = 1
+            chain = self.chain
+            cid = vpn // self.uvm.pages_per_chunk
+            li = cid - chain._origin
+            if not (0 <= li < len(chain._inch)) or not chain._inch[li]:
+                raise SimulationError(f"resident vpn {vpn} has no chunk entry")
+            chain._tch[li] |= 1 << (vpn - cid * self.uvm.pages_per_chunk)
+            kind = self._policy_kind
+            if kind is None:
+                self.policy.on_page_touched(chain._handle(li), vpn, time)
+            elif kind == "lru":
+                if chain._last != cid:
+                    chain.move_to_tail(cid)
+                chain._lref[li] = self.clock._interval_index
+            elif kind == "mhpe":
+                interval = self.clock._interval_index
+                if chain._lref[li] < interval:
+                    chain._lref[li] = interval
+                    if chain._last != cid:
+                        chain.move_to_tail(cid)
+            elif kind == "hpe":
+                counter = chain._ctr[li]
+                if counter < 16:
+                    chain._ctr[li] = counter + 1
+                if chain._last != cid:
+                    chain.move_to_tail(cid)
+                chain._lref[li] = self.clock._interval_index
+            else:  # "ref": recency-blind, interval bookkeeping only
+                chain._lref[li] = self.clock._interval_index
+            return
         self._page_table.record_access(vpn, is_write)
         ppc = self.uvm.pages_per_chunk
         entry = self.chain.get(vpn // ppc)
@@ -721,8 +1037,38 @@ class MemorySystem:
 
     def handle_fault(self, fault: FarFault) -> None:
         """Entry point for an SM's far fault."""
-        if self.frontend.intake(fault):
-            self.scheduler.pump(fault.time)
+        if not self._fast:
+            if self.frontend.intake(fault):
+                self.scheduler.pump(fault.time)
+            return
+        # Array fast path: FaultFrontend.intake flattened (byte-identical
+        # bookkeeping; per-fault method calls add up at this rate).
+        frontend = self.frontend
+        stats = self.stats
+        stats.far_faults += 1
+        self.clock._interval_faults += 1
+        frontend._m_faults.value += 1
+        kind = self._policy_kind
+        vpn = fault.vpn
+        if kind != "lru" and kind != "ref":
+            # Only HPE/MHPE (and unknown policies) implement on_fault; the
+            # base-class hook is a no-op for the exact-matched LRU kinds.
+            self.policy.on_fault(vpn, vpn // self.uvm.pages_per_chunk, fault.time)
+        if frontend._trace.enabled:
+            frontend._trace.emit(
+                "fault", fault.time, chunk=vpn // self.uvm.pages_per_chunk,
+                **fault.trace_args(),
+            )
+        mig = frontend.covered.get(vpn)
+        if mig is not None:
+            mig.attach(fault)
+            stats.merged_faults += 1
+            frontend._m_merged.value += 1
+            return
+        frontend.pending.append(fault)
+        scheduler = self.scheduler
+        if scheduler._active_services < self.uvm.fault_parallelism:
+            scheduler.pump(fault.time)
 
     # ------------------------------------------------------------- reporting
 

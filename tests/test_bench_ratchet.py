@@ -1,0 +1,174 @@
+"""Unit tests for the CI benchmark ratchet (``repro.harness.bench``).
+
+The ratchet compares speedup *ratios* (array vs object, measured in the
+same process) rather than absolute wall-clock, so a committed baseline
+stays meaningful across machines.  These tests drive
+:func:`compare_to_baseline` with synthetic documents — no timing — plus
+one real (tiny) :func:`run_bench` smoke.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.harness.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_config,
+    compare_to_baseline,
+    fault_heavy_workload,
+    hit_heavy_workload,
+    load_baseline,
+    run_bench,
+)
+from repro.harness.cache import config_fingerprint
+
+
+def _doc(hit_speedup=2.5, fault_speedup=1.3, identical=True, fingerprint=None):
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": True,
+        "rounds": 1,
+        "config_fingerprint": fingerprint or config_fingerprint(bench_config()),
+        "headline_case": "hit_heavy",
+        "cases": {
+            "hit_heavy": {
+                "unit": "access",
+                "accesses": 100,
+                "far_faults": 1,
+                "object": {"best_s": 1.0, "us_per_access": 10.0},
+                "array": {"best_s": 1.0 / hit_speedup,
+                          "us_per_access": 10.0 / hit_speedup},
+                "speedup": hit_speedup,
+                "identical": identical,
+            },
+            "fault_heavy": {
+                "unit": "fault",
+                "accesses": 100,
+                "far_faults": 100,
+                "object": {"best_s": 1.0, "us_per_fault": 10.0},
+                "array": {"best_s": 1.0 / fault_speedup,
+                          "us_per_fault": 10.0 / fault_speedup},
+                "speedup": fault_speedup,
+                "identical": True,
+            },
+        },
+    }
+
+
+class TestRatchetDecisions:
+    def test_missing_baseline_passes_with_warning(self):
+        report = compare_to_baseline(_doc(), None)
+        assert report.ok
+        assert any("no baseline" in w for w in report.warnings)
+
+    def test_equal_speedup_passes(self):
+        report = compare_to_baseline(_doc(), _doc())
+        assert report.ok, report.render()
+
+    def test_faster_than_baseline_passes(self):
+        report = compare_to_baseline(_doc(hit_speedup=3.5), _doc(hit_speedup=2.5))
+        assert report.ok
+
+    def test_regression_beyond_tolerance_fails(self):
+        # Baseline 2.5x, current 2.01x, tolerance 15% -> floor 2.125x: FAIL.
+        report = compare_to_baseline(
+            _doc(hit_speedup=2.01), _doc(hit_speedup=2.5), min_speedup=1.0
+        )
+        assert not report.ok
+        failing = [c for c in report.checks if not c.passed]
+        assert any("speedup_ratchet" in c.name for c in failing)
+
+    def test_regression_within_tolerance_passes(self):
+        # Baseline 2.5x, current 2.2x, floor 2.125x: inside the band.
+        report = compare_to_baseline(
+            _doc(hit_speedup=2.2), _doc(hit_speedup=2.5), min_speedup=1.0
+        )
+        assert report.ok, report.render()
+
+    def test_headline_floor_enforced_even_without_baseline(self):
+        report = compare_to_baseline(_doc(hit_speedup=1.2), None)
+        assert not report.ok
+        failing = [c for c in report.checks if not c.passed]
+        assert any("min_speedup" in c.name for c in failing)
+
+    def test_divergent_backends_hard_fail(self):
+        report = compare_to_baseline(_doc(identical=False), _doc())
+        assert not report.ok
+        failing = [c for c in report.checks if not c.passed]
+        assert any("identical" in c.name for c in failing)
+
+    def test_foreign_config_baseline_ignored(self):
+        baseline = _doc(hit_speedup=99.0, fingerprint="f" * 64)
+        report = compare_to_baseline(_doc(), baseline)
+        assert report.ok
+        assert any("different bench config" in w for w in report.warnings)
+        assert not any("speedup_ratchet" in c.name for c in report.checks)
+
+    def test_schema_mismatch_ignored(self):
+        baseline = _doc()
+        baseline["schema"] = BENCH_SCHEMA_VERSION + 1
+        report = compare_to_baseline(_doc(), baseline)
+        assert report.ok
+        assert any("schema" in w for w in report.warnings)
+
+    def test_case_missing_from_baseline_warns(self):
+        baseline = _doc()
+        del baseline["cases"]["fault_heavy"]
+        report = compare_to_baseline(_doc(), baseline)
+        assert report.ok
+        assert any("fault_heavy" in w for w in report.warnings)
+
+    def test_render_names_every_check(self):
+        report = compare_to_baseline(_doc(hit_speedup=1.0), _doc())
+        text = report.render()
+        assert "REGRESSION" in text
+        assert "min_speedup" in text
+
+
+class TestBaselineIO:
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) is None
+
+    def test_load_garbage_returns_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert load_baseline(str(path)) is None
+        path.write_text("[1, 2, 3]")
+        assert load_baseline(str(path)) is None
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "b.json"
+        doc = _doc()
+        path.write_text(json.dumps(doc))
+        assert load_baseline(str(path)) == doc
+
+
+class TestBenchWorkloads:
+    def test_fault_workload_writes_seeded_from_config(self):
+        # The write flags come from SimConfig.make_rng(): same config, same
+        # stream; a different seed, a different stream.
+        a = fault_heavy_workload(sweeps=2, config=bench_config())
+        b = fault_heavy_workload(sweeps=2, config=bench_config())
+        assert np.array_equal(a.writes, b.writes)
+        other = fault_heavy_workload(
+            sweeps=2, config=bench_config().with_(seed=99)
+        )
+        assert not np.array_equal(a.writes, other.writes)
+
+    def test_hit_workload_shape(self):
+        wl = hit_heavy_workload(sweeps=3)
+        assert wl.footprint_pages == 512
+        assert wl.accesses.size == 3 * 512
+
+
+class TestRunBenchSmoke:
+    def test_run_bench_produces_identical_backends(self):
+        doc = run_bench(quick=True, rounds=0)
+        assert set(doc["cases"]) == {"hit_heavy", "fault_heavy"}
+        for case in doc["cases"].values():
+            assert case["identical"], "array backend diverged from oracle"
+            assert case["object"]["best_s"] > 0
+            assert case["array"]["best_s"] > 0
+        json.dumps(doc)  # must be serialisable as-is
