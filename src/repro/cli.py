@@ -205,6 +205,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit findings as JSON")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    lint_p.add_argument(
+        "--deep", action="store_true",
+        help="whole-program analysis: call-graph worker reachability "
+             "(REPRO6xx) and cache-key taint tracking (REPRO5xx)",
+    )
+    lint_p.add_argument(
+        "--callgraph-cache", metavar="PATH", default=None,
+        help="JSON file caching per-file call-graph summaries (keyed by "
+             "source content hash); warm runs skip re-extraction of "
+             "unchanged files.  Only meaningful with --deep",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -516,7 +527,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"repro lint: no such path(s): {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    report = run_lint(args.paths)
+    report = run_lint(
+        args.paths, deep=args.deep, callgraph_cache=args.callgraph_cache
+    )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -526,6 +539,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             f"{len(report.findings)} finding(s) in "
             f"{report.files_checked} file(s)"
         )
+        if args.deep:
+            summary += (
+                f" [deep: {report.summaries_extracted} summarised, "
+                f"{report.summaries_from_cache} from cache]"
+            )
         print(summary if report.findings else f"clean: {summary}",
               file=sys.stderr)
     return 0 if report.ok else 1

@@ -27,6 +27,19 @@ third-party lint framework:
 * :mod:`~repro.devtools.ratchet` — ``REPRO4xx``: the mypy strictness
   allowlist in ``pyproject.toml`` may only shrink.
 
+``repro lint --deep`` adds a whole-program layer on top of the per-file
+rules — a project-wide call graph (:mod:`~repro.devtools.callgraph`, with
+an on-disk summary cache) feeding:
+
+* :mod:`~repro.devtools.taint` — ``REPRO5xx``: cache-key taint analysis —
+  every ``SimConfig``/``RunSpec`` field read reachable from the simulation
+  entry points must be hashed or listed (with justification) in
+  :data:`repro.harness.cache.FINGERPRINT_ELISIONS`.
+* :mod:`~repro.devtools.reachability` — ``REPRO6xx``: the true transitive
+  closure from ``harness.parallel._pool_entry`` — worker-reachable global
+  or module-state mutation, nondeterminism leaking through the harness
+  boundary, and drift between the closure and ``PARALLEL_SCOPE``.
+
 Entry points: ``python -m repro lint [PATHS]`` (see :mod:`repro.cli`) or
 :func:`run_lint` programmatically.  Suppress a finding with a trailing or
 preceding ``# repro-lint: disable=RULEID`` comment; see LINTING.md for the
@@ -38,7 +51,10 @@ from __future__ import annotations
 from .boundary import (
     HARNESS_PACKAGES,
     PARALLEL_SCOPE,
+    SHARED_MODULES,
+    SIMULATION_ENTRY_POINTS,
     SIMULATION_PACKAGES,
+    WORKER_ENTRY_POINTS,
     is_parallel_scope,
     is_simulation_module,
 )
@@ -55,7 +71,10 @@ __all__ = [
     "get_rule",
     "SIMULATION_PACKAGES",
     "HARNESS_PACKAGES",
+    "SHARED_MODULES",
     "PARALLEL_SCOPE",
+    "WORKER_ENTRY_POINTS",
+    "SIMULATION_ENTRY_POINTS",
     "is_simulation_module",
     "is_parallel_scope",
 ]

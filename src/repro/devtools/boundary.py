@@ -15,6 +15,19 @@ reads allowed), and which code is reachable from
 A module's classification follows its dotted name; corpus/test files can
 override their module name with a ``# repro-lint: module=...`` directive
 (see :mod:`repro.devtools.checker`).
+
+Two layers use this partition:
+
+* the per-file rules (``REPRO1xx``/``REPRO3xx``) gate on the *package*
+  sets below — a fast approximation that needs no whole-program view;
+* the ``--deep`` pass (:mod:`repro.devtools.reachability`) computes the
+  *true* transitive closure from the entry points below and checks the
+  approximation against it (``REPRO604`` flags drift), so a package that
+  becomes worker-reachable cannot silently fall out of scope.
+
+``tests/test_boundary.py`` pins this partition against the real package
+tree: renaming or adding a package without classifying it here fails the
+suite, not just the intent.
 """
 
 from __future__ import annotations
@@ -24,8 +37,12 @@ from typing import FrozenSet
 __all__ = [
     "SIMULATION_PACKAGES",
     "HARNESS_PACKAGES",
+    "SHARED_MODULES",
     "PARALLEL_SCOPE",
     "HASHED_CONFIG_MODULES",
+    "WORKER_ENTRY_POINTS",
+    "SIMULATION_ENTRY_POINTS",
+    "CLI_ENTRY_POINTS",
     "is_simulation_module",
     "is_harness_module",
     "is_parallel_scope",
@@ -66,16 +83,38 @@ HARNESS_PACKAGES: FrozenSet[str] = frozenset(
     }
 )
 
+#: Leaf modules shared by both sides of the boundary: configuration
+#: dataclasses, the error taxonomy, and unit conversions.  They carry no
+#: side effects of their own, but they *are* imported into worker
+#: processes, so they sit inside :data:`PARALLEL_SCOPE` (and
+#: ``tests/test_boundary.py`` requires every real module to appear in
+#: exactly one of the three classification sets).
+SHARED_MODULES: FrozenSet[str] = frozenset(
+    {
+        "repro",
+        "repro.config",
+        "repro.errors",
+        "repro.units",
+    }
+)
+
 #: Modules whose code runs inside ``ParallelRunner`` worker processes (or is
 #: imported by it): worker entry points must be top-level picklables and must
 #: not mutate module globals or shared config objects, or serial and parallel
 #: runs diverge.  The simulation packages are all in scope — ``_execute``
-#: imports them into every worker.
+#: imports them into every worker — plus the harness modules on the worker
+#: execution path (``_pool_entry`` -> ``_execute`` -> ``build_setup``) and
+#: the shared leaf modules they pull in.  The ``--deep`` reachability pass
+#: (REPRO604) checks this set against the actual call-graph closure.
 PARALLEL_SCOPE: FrozenSet[str] = SIMULATION_PACKAGES | frozenset(
     {
         "repro.harness.experiment",
         "repro.harness.parallel",
         "repro.harness.faults",
+        "repro.harness.baselines",
+        "repro.config",
+        "repro.errors",
+        "repro.units",
     }
 )
 
@@ -89,6 +128,29 @@ HASHED_CONFIG_MODULES: FrozenSet[str] = frozenset(
         "repro.harness.experiment",
     }
 )
+
+#: The guarded worker entry point: everything transitively callable from
+#: here executes inside pool worker processes.  The ``--deep`` pass seeds
+#: its worker-reachability closure at these exact qualified names.
+WORKER_ENTRY_POINTS: FrozenSet[str] = frozenset(
+    {"repro.harness.parallel._pool_entry"}
+)
+
+#: The simulation execution seams: the single code path every simulation
+#: (serial, pool worker, traced) funnels through.  The ``--deep`` cache-key
+#: taint analysis treats config/spec attribute reads reachable from here as
+#: behaviour-affecting.
+SIMULATION_ENTRY_POINTS: FrozenSet[str] = frozenset(
+    {
+        "repro.harness.experiment._execute",
+        "repro.harness.experiment._execute_traced",
+    }
+)
+
+#: The outermost entry point of the program (``python -m repro``); useful as
+#: a whole-program reachability root for ad-hoc call-graph queries
+#: (:meth:`repro.devtools.callgraph.CallGraph.reachable_from`).
+CLI_ENTRY_POINTS: FrozenSet[str] = frozenset({"repro.cli.main"})
 
 
 def _in_packages(module: str, packages: FrozenSet[str]) -> bool:

@@ -7,18 +7,30 @@ per file and every :class:`~repro.devtools.rules.ProjectRule` once over the
 batch, drops findings covered by ``# repro-lint: disable=...`` comments,
 and returns them sorted by location.
 
+Discovery is resilient by contract: an unreadable file, a symlink loop, or
+a directory the walker cannot enter produces a ``REPRO901`` finding for
+that path and the run continues — a single bad path must never mask the
+findings in every other file.
+
 Module names are derived from the path (anchored at the ``repro`` package
 or a ``src/`` directory); a ``# repro-lint: module=...`` directive in the
 first few lines overrides the derivation, which is how the lint corpus
 masquerades as simulation code.
+
+``deep=True`` additionally builds the whole-program analysis
+(:mod:`repro.devtools.deep`: call graph, worker/simulation closures,
+cache-key taint) and enables the REPRO5xx/6xx rules; ``callgraph_cache``
+names an on-disk summary cache keyed by source content hash so warm deep
+runs skip re-extraction entirely.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .findings import Finding
 from .rules import (
@@ -37,13 +49,17 @@ from . import determinism as _determinism  # noqa: F401
 from . import hotpath as _hotpath  # noqa: F401
 from . import parallel_safety as _parallel_safety  # noqa: F401
 from . import ratchet as _ratchet  # noqa: F401
+from . import reachability as _reachability  # noqa: F401
+from . import taint as _taint  # noqa: F401
 
 __all__ = ["LintReport", "run_lint", "module_name_for", "PARSE_ERROR_RULE"]
 
-#: Rule id attached to files the checker cannot parse at all.
+#: Rule id attached to files the checker cannot read or parse at all.
 PARSE_ERROR_RULE = "REPRO901"
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+_UNREADABLE_HINT = "fix the unreadable path (everything else was still checked)"
 
 
 @dataclass
@@ -52,6 +68,11 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: Whether the whole-program (``--deep``) analysis ran.
+    deep: bool = False
+    #: Summary-cache bookkeeping when ``deep`` is set (else zeros).
+    summaries_extracted: int = 0
+    summaries_from_cache: int = 0
 
     @property
     def ok(self) -> bool:
@@ -63,6 +84,11 @@ class LintReport:
         return {
             "version": JSON_SCHEMA_VERSION,
             "files_checked": self.files_checked,
+            "deep": {
+                "enabled": self.deep,
+                "summaries_extracted": self.summaries_extracted,
+                "summaries_from_cache": self.summaries_from_cache,
+            },
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -88,22 +114,62 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts[anchor:])
 
 
-def _iter_py_files(paths: Sequence[Union[str, Path]]) -> Iterable[Path]:
+def _walk_errors_to_findings(
+    errors: List[Tuple[str, BaseException]], root: Optional[Path]
+) -> List[Finding]:
+    findings = []
+    for location, exc in errors:
+        findings.append(
+            Finding(
+                path=_display_path(Path(location), root),
+                line=1,
+                column=1,
+                rule=PARSE_ERROR_RULE,
+                message=f"cannot read path: {exc}",
+                fix_hint=_UNREADABLE_HINT,
+            )
+        )
+    return findings
+
+
+def _iter_py_files(
+    paths: Sequence[Union[str, Path]],
+) -> Tuple[List[Path], List[Tuple[str, BaseException]]]:
+    """Expand ``paths`` to ``.py`` files, collecting traversal errors.
+
+    ``os.walk`` (which neither follows directory symlinks nor aborts on a
+    bad entry) is used instead of ``Path.rglob`` so that one unreadable or
+    looping directory degrades to a recorded error instead of killing the
+    whole discovery pass.
+    """
+    files: List[Path] = []
+    errors: List[Tuple[str, BaseException]] = []
+
+    def on_error(exc: OSError) -> None:
+        errors.append((exc.filename or "<unknown>", exc))
+
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            for sub in sorted(path.rglob("*.py")):
-                if not any(part in _SKIP_DIRS for part in sub.parts):
-                    yield sub
+            for dirpath, dirnames, filenames in os.walk(
+                str(path), onerror=on_error, followlinks=False
+            ):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(Path(dirpath) / name)
         else:
-            yield path
+            files.append(path)
+    return files, errors
 
 
 def _display_path(path: Path, root: Optional[Path]) -> str:
     if root is not None:
         try:
             return str(path.resolve().relative_to(root.resolve()))
-        except ValueError:
+        except (OSError, ValueError):
             pass
     return str(path)
 
@@ -111,7 +177,10 @@ def _display_path(path: Path, root: Optional[Path]) -> str:
 def _find_project_root(paths: Sequence[Path]) -> Optional[Path]:
     """Nearest ancestor of the first path that holds ``pyproject.toml``."""
     for start in paths:
-        candidate = start.resolve()
+        try:
+            candidate = start.resolve()
+        except OSError:  # unresolvable (e.g. symlink loop in an argument)
+            continue
         if candidate.is_file():
             candidate = candidate.parent
         for ancestor in [candidate, *candidate.parents]:
@@ -120,11 +189,21 @@ def _find_project_root(paths: Sequence[Path]) -> Optional[Path]:
     return None
 
 
-def run_lint(paths: Sequence[Union[str, Path]]) -> LintReport:
-    """Lint ``paths`` (files and/or directories) with every registered rule."""
-    report = LintReport()
-    files = list(_iter_py_files(paths))
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    deep: bool = False,
+    callgraph_cache: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Lint ``paths`` (files and/or directories) with every registered rule.
+
+    ``deep=True`` builds the whole-program call-graph analysis and enables
+    the REPRO5xx/6xx rules; ``callgraph_cache`` (a JSON file path) makes
+    repeated deep runs skip summary extraction for unchanged files.
+    """
+    report = LintReport(deep=deep)
+    files, walk_errors = _iter_py_files(paths)
     root = _find_project_root([Path(p) for p in paths])
+    report.findings.extend(_walk_errors_to_findings(walk_errors, root))
     contexts: List[FileContext] = []
     for path in files:
         display = _display_path(path, root)
@@ -155,6 +234,17 @@ def run_lint(paths: Sequence[Union[str, Path]]) -> LintReport:
         )
     report.files_checked = len(contexts)
 
+    deep_analysis = None
+    if deep:
+        from .deep import build_deep_analysis
+
+        deep_analysis = build_deep_analysis(
+            contexts,
+            cache_path=Path(callgraph_cache) if callgraph_cache else None,
+        )
+        report.summaries_extracted = deep_analysis.stats.summaries_extracted
+        report.summaries_from_cache = deep_analysis.stats.summaries_from_cache
+
     file_rules: List[FileRule] = []
     project_rules: List[ProjectRule] = []
     for rule_cls in all_rules():
@@ -168,11 +258,13 @@ def run_lint(paths: Sequence[Union[str, Path]]) -> LintReport:
     for ctx in contexts:
         for frule in file_rules:
             raw.extend(frule.check(ctx))
-    project = ProjectContext(files=contexts, root=root)
+    project = ProjectContext(files=contexts, root=root, deep=deep_analysis)
     for prule in project_rules:
         raw.extend(prule.check_project(project))
 
-    by_path = {ctx.display_path: ctx for ctx in contexts}
+    by_path: Dict[str, FileContext] = {
+        ctx.display_path: ctx for ctx in contexts
+    }
     for finding in raw:
         ctx_for = by_path.get(finding.path)
         if ctx_for is not None and ctx_for.is_suppressed(

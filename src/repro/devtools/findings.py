@@ -8,7 +8,8 @@ from typing import Dict
 __all__ = ["Finding", "JSON_SCHEMA_VERSION"]
 
 #: Bump when the JSON output shape changes (consumers key on this).
-JSON_SCHEMA_VERSION = 1
+#: v2: report gained a ``deep`` object (enabled flag + summary-cache stats).
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -80,7 +80,9 @@ MYPY_ALLOWLIST_BASELINE: FrozenSet[str] = frozenset(
 STRICT_REQUIRED: FrozenSet[str] = frozenset(
     {
         "repro.config",
+        "repro.devtools.findings",
         "repro.harness.cache",
+        "repro.harness.faults",
         "repro.memsim.chunk_chain",
         "repro.policies.base",
     }

@@ -1,0 +1,199 @@
+"""Worker-reachability rules (``REPRO6xx``) — ``--deep`` mode only.
+
+The per-file parallel-safety rules (REPRO301–303) gate on
+:data:`~repro.devtools.boundary.PARALLEL_SCOPE` — a package-name
+approximation of "runs inside pool workers".  These rules replace the
+approximation with the truth: the transitive call-graph closure from
+:data:`~repro.devtools.boundary.WORKER_ENTRY_POINTS`
+(``harness.parallel._pool_entry``).  Anything the approximation misses is
+reported here:
+
+* REPRO601 — a ``global`` write in a worker-reachable function *outside*
+  ``PARALLEL_SCOPE`` (inside the scope, REPRO301 already fires; this rule
+  covers the code the heuristic cannot see).
+* REPRO602 — a worker-reachable function mutating a module-level container
+  (no ``global`` statement needed for ``D[k] = v``, so REPRO301 is blind
+  to it anywhere).
+* REPRO603 — a nondeterministic primitive (wall clock, env read,
+  module-level RNG: the REPRO101/102/103 class) in a *harness* function
+  reachable from the simulation entry points — the harness-boundary leak
+  the per-file rules exempt by design.
+* REPRO604 — boundary drift: a module is worker-reachable but absent from
+  ``PARALLEL_SCOPE``, so the per-file parallel rules silently skip it.
+
+All rules no-op unless :attr:`ProjectContext.deep` is populated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .boundary import is_parallel_scope, is_simulation_module
+from .findings import Finding
+from .rules import ProjectContext, register
+from .taint import _DeepRule
+
+__all__ = [
+    "WorkerGlobalWriteRule",
+    "WorkerSharedContainerRule",
+    "SimReachableNondetRule",
+    "ParallelScopeDriftRule",
+]
+
+
+@register
+class WorkerGlobalWriteRule(_DeepRule):
+    rule_id = "REPRO601"
+    title = "global write in a worker-reachable function"
+    rationale = (
+        "the function is transitively callable from "
+        "harness.parallel._pool_entry, so the write happens inside pool "
+        "worker processes; each worker mutates its own copy, serial runs "
+        "mutate the real one, and results diverge by execution mode.  "
+        "Unlike REPRO301 this is the true call-graph closure, not the "
+        "PARALLEL_SCOPE package heuristic."
+    )
+    fix_hint = "return the value instead, or key state by (spec, config)"
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        deep = project.deep
+        assert deep is not None
+        for qual in sorted(deep.worker_functions):
+            module = deep.graph.function_module[qual]
+            if is_parallel_scope(module):
+                continue  # REPRO301 already covers in-scope modules
+            fn = deep.graph.functions[qual]
+            ctx = project.by_module(module)
+            if ctx is None:
+                continue
+            for name, line, column in (
+                (str(w[0]), int(w[1]), int(w[2])) for w in fn.global_writes
+            ):
+                yield ctx.finding(
+                    (line, column + 1),
+                    self,
+                    f"`{qual}` (reachable from _pool_entry) writes global "
+                    f"`{name}`",
+                )
+
+
+@register
+class WorkerSharedContainerRule(_DeepRule):
+    rule_id = "REPRO602"
+    title = "worker-reachable mutation of module-level state"
+    rationale = (
+        "a function reachable from harness.parallel._pool_entry mutates a "
+        "module-level container (dict/list/set assignment or mutator "
+        "method).  No `global` statement is involved, so REPRO301 cannot "
+        "see it — but the mutation is per-process all the same: worker "
+        "state diverges from the coordinator and from serial runs, and "
+        "memoised values poison result purity."
+    )
+    fix_hint = (
+        "pass state explicitly through the call chain, or move the cache "
+        "to the coordinator side (it must not live in worker-importable "
+        "module scope)"
+    )
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        deep = project.deep
+        assert deep is not None
+        for qual in sorted(deep.worker_functions):
+            module = deep.graph.function_module[qual]
+            fn = deep.graph.functions[qual]
+            ctx = project.by_module(module)
+            if ctx is None:
+                continue
+            for name, line, column in (
+                (str(w[0]), int(w[1]), int(w[2])) for w in fn.container_writes
+            ):
+                yield ctx.finding(
+                    (line, column + 1),
+                    self,
+                    f"`{qual}` (reachable from _pool_entry) mutates "
+                    f"module-level `{module}.{name}`",
+                )
+
+
+@register
+class SimReachableNondetRule(_DeepRule):
+    rule_id = "REPRO603"
+    title = "nondeterministic call reachable from the simulation seam"
+    rationale = (
+        "harness code is exempt from the per-file determinism rules "
+        "(REPRO101–103) because wall clock and environment reads there "
+        "normally feed progress display, not results.  This function, "
+        "however, is transitively reachable from "
+        "harness.experiment._execute — its return value can flow into "
+        "simulation results, so host state leaks into cached entries "
+        "through the harness boundary."
+    )
+    fix_hint = (
+        "move the nondeterministic read out of the execution path, or "
+        "thread the value through SimConfig so it enters the cache key"
+    )
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        deep = project.deep
+        assert deep is not None
+        for qual in sorted(deep.sim_functions):
+            module = deep.graph.function_module[qual]
+            if is_simulation_module(module):
+                continue  # REPRO101/102/103 already police sim packages
+            fn = deep.graph.functions[qual]
+            ctx = project.by_module(module)
+            if ctx is None:
+                continue
+            for target, line, column in (
+                (str(c[0]), int(c[1]), int(c[2])) for c in fn.nondet_calls
+            ):
+                yield ctx.finding(
+                    (line, column + 1),
+                    self,
+                    f"`{target}` in `{qual}`, which is reachable from the "
+                    "simulation entry points",
+                )
+
+
+@register
+class ParallelScopeDriftRule(_DeepRule):
+    rule_id = "REPRO604"
+    title = "worker-reachable module outside PARALLEL_SCOPE"
+    rationale = (
+        "the module's functions execute inside pool workers (transitively "
+        "reachable from harness.parallel._pool_entry) but the module is "
+        "not classified in devtools.boundary.PARALLEL_SCOPE, so the "
+        "per-file parallel-safety rules (REPRO301–304) silently skip it.  "
+        "This is exactly how scope drift let the _POOL_ERRORS "
+        "misclassification survive review."
+    )
+    fix_hint = (
+        "add the module (or its package) to PARALLEL_SCOPE in "
+        "devtools/boundary.py, or break the call edge into it"
+    )
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        deep = project.deep
+        assert deep is not None
+        # One finding per drifted module, anchored at its first reachable
+        # function (deterministic: lowest line number wins).
+        drifted: Dict[str, Tuple[int, str]] = {}
+        for qual in deep.worker_functions:
+            module = deep.graph.function_module[qual]
+            if is_parallel_scope(module):
+                continue
+            fn = deep.graph.functions[qual]
+            current = drifted.get(module)
+            if current is None or fn.line < current[0]:
+                drifted[module] = (fn.line, qual)
+        for module in sorted(drifted):
+            ctx = project.by_module(module)
+            if ctx is None:
+                continue
+            line, qual = drifted[module]
+            yield ctx.finding(
+                (line, 1),
+                self,
+                f"`{module}` is reachable from _pool_entry (via `{qual}`) "
+                "but not in PARALLEL_SCOPE",
+            )

@@ -22,9 +22,23 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
 
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deep -> rules)
+    from .deep import DeepAnalysis
 
 __all__ = [
     "FileContext",
@@ -187,6 +201,10 @@ class ProjectContext:
     files: List[FileContext]
     #: Nearest ancestor directory holding ``pyproject.toml``, when found.
     root: Optional[Path] = None
+    #: Whole-program analysis built by ``repro lint --deep``; ``None`` in
+    #: the default (per-file) mode.  Deep rules (REPRO5xx/6xx) no-op when
+    #: this is absent.
+    deep: Optional["DeepAnalysis"] = None
 
     def by_module(self, module: str) -> Optional[FileContext]:
         for ctx in self.files:

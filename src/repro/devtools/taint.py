@@ -1,0 +1,221 @@
+"""Cache-key taint rules (``REPRO5xx``) — ``--deep`` mode only.
+
+The persistent result cache is sound only if the content hash
+(:func:`repro.harness.cache.spec_fingerprint`) covers every
+``SimConfig``/``RunSpec`` field that can influence simulation behaviour.
+REPRO201 checks the fingerprint function in isolation; these rules close
+the loop from the *other* side: using the call graph, they look at every
+config/spec attribute actually read in code reachable from the simulation
+entry points and require each one to be either hashed or deliberately,
+justifiably elided via the machine-readable
+``FINGERPRINT_ELISIONS`` allowlist that lives next to the fingerprints.
+
+All three rules no-op unless :attr:`ProjectContext.deep` is populated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .rules import FileContext, ProjectContext, ProjectRule, register
+
+__all__ = [
+    "UnhashedFieldReadRule",
+    "ElisionAllowlistRule",
+    "UnknownConfigAttributeRule",
+]
+
+#: Attributes that exist on every object / dataclass and never carry
+#: behaviour-affecting configuration.
+_UNIVERSAL_ATTRS: Set[str] = {
+    "__class__",
+    "__dict__",
+    "__doc__",
+    "__module__",
+    "__dataclass_fields__",
+}
+
+
+def _anchor(
+    project: ProjectContext, module: str
+) -> Optional[FileContext]:
+    return project.by_module(module)
+
+
+class _DeepRule(ProjectRule):
+    """Shared gate: deep rules need the whole-program analysis."""
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        if project.deep is None:
+            return
+        yield from self._check_deep(project)
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+@register
+class UnhashedFieldReadRule(_DeepRule):
+    rule_id = "REPRO501"
+    title = "config/spec field escapes the cache content hash"
+    rationale = (
+        "a field of a hashed dataclass is read somewhere in the simulation "
+        "closure (code reachable from harness.experiment._execute), but the "
+        "fingerprint elides it — two runs differing only in that field "
+        "would collide on one cache entry and silently serve each other's "
+        "results."
+    )
+    fix_hint = (
+        "hash the field, or record the elision in FINGERPRINT_ELISIONS "
+        "(repro.harness.cache) with a one-line justification"
+    )
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        deep = project.deep
+        assert deep is not None
+        allow_fields = {entry.field for entry in deep.allowlist}
+
+        # Fields each hashed class actually feeds into the hash.
+        for cls in deep.hashed_classes.values():
+            if cls.whole_object:
+                hashed = set(cls.fields)
+            else:
+                hashed = set(cls.fields_hashed)
+            elided: Dict[str, List[Tuple[str, int, int]]] = {}
+            for site in deep.elisions:
+                if site.field in cls.fields:
+                    elided.setdefault(site.field, []).append(
+                        (site.module, site.line, site.column)
+                    )
+            uncovered = (set(cls.fields) - (hashed - set(elided))) | set(elided)
+
+            # Which uncovered fields does the simulation closure read?
+            read_sites = [
+                read
+                for read in deep.sim_config_reads
+                if read.field in uncovered
+                and read.field in cls.fields
+                and (read.class_hint == cls.name or not read.from_annotation)
+            ]
+            for field in sorted({r.field for r in read_sites}):
+                if field in allow_fields:
+                    continue
+                # Anchor at the elision site when there is one (that is the
+                # line to fix), else at the fingerprint definition.
+                sites = elided.get(field)
+                if sites:
+                    module, line, column = sites[0]
+                else:
+                    module, line, column = (
+                        cls.fingerprint_module,
+                        cls.fingerprint_line,
+                        0,
+                    )
+                ctx = _anchor(project, module)
+                if ctx is None:
+                    continue
+                reader = next(r for r in read_sites if r.field == field)
+                yield ctx.finding(
+                    (line, column + 1),
+                    self,
+                    f"`{cls.name}.{field}` is read in simulation-reachable "
+                    f"code (`{reader.function}` at {reader.module}:"
+                    f"{reader.line}) but escapes the cache hash",
+                )
+
+
+@register
+class ElisionAllowlistRule(_DeepRule):
+    rule_id = "REPRO502"
+    title = "invalid or stale fingerprint-elision allowlist entry"
+    rationale = (
+        "FINGERPRINT_ELISIONS is the audited record of every field "
+        "deliberately left out of the cache hash; an entry without a "
+        "justification defeats the audit, and an entry whose field is no "
+        "longer elided (or never existed on the named dataclass) documents "
+        "a hash that is not the one shipping."
+    )
+    fix_hint = (
+        "give every entry a non-empty reason, and drop entries whose "
+        "elision no longer exists in the fingerprint code"
+    )
+
+    #: Reasons shorter than this cannot plausibly justify an elision.
+    _MIN_REASON = 10
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        deep = project.deep
+        assert deep is not None
+        elided_fields = {site.field for site in deep.elisions}
+        for entry in deep.allowlist:
+            ctx = _anchor(project, entry.module)
+            if ctx is None:
+                continue
+            anchor = (entry.line, entry.column + 1)
+            label = f"{entry.dataclass_name}.{entry.field}"
+            if len(entry.reason.strip()) < self._MIN_REASON:
+                yield ctx.finding(
+                    anchor,
+                    self,
+                    f"allowlist entry `{label}` carries no justification",
+                )
+                continue
+            cls = deep.hashed_classes.get(entry.dataclass_name)
+            if cls is not None:
+                if entry.field != "*" and entry.field not in cls.fields:
+                    yield ctx.finding(
+                        anchor,
+                        self,
+                        f"allowlist entry `{label}` names a field that does "
+                        f"not exist on `{cls.name}`",
+                    )
+                    continue
+                if entry.field != "*" and entry.field not in elided_fields:
+                    yield ctx.finding(
+                        anchor,
+                        self,
+                        f"allowlist entry `{label}` is stale: the "
+                        "fingerprint no longer elides this field",
+                    )
+            # Entries for classes outside the hashed set (e.g. ObsConfig,
+            # which never reaches the cache at all) are documentation-only;
+            # the justification requirement above still applies.
+
+
+@register
+class UnknownConfigAttributeRule(_DeepRule):
+    rule_id = "REPRO503"
+    title = "unknown attribute read on a hashed-config object"
+    rationale = (
+        "simulation-reachable code reads an attribute that is neither a "
+        "field nor a method/property of the annotated config dataclass — "
+        "typically a typo or a stale field name that would only fail at "
+        "runtime on a rarely-taken path."
+    )
+    fix_hint = "use a declared field, or add the field to the dataclass"
+
+    def _check_deep(self, project: ProjectContext) -> Iterator[Finding]:
+        deep = project.deep
+        assert deep is not None
+        for read in deep.sim_config_reads:
+            # Heuristic (name-based) receiver hints are too weak to accuse a
+            # read of being invalid; only annotation-confirmed types count.
+            if not read.from_annotation:
+                continue
+            cls = deep.hashed_classes.get(read.class_hint)
+            if cls is None:
+                continue
+            known = set(cls.fields) | set(cls.methods) | _UNIVERSAL_ATTRS
+            if read.field in known:
+                continue
+            ctx = _anchor(project, read.module)
+            if ctx is None:
+                continue
+            yield ctx.finding(
+                (read.line, read.column + 1),
+                self,
+                f"`{read.class_hint}.{read.field}` read in "
+                f"`{read.function}` but `{cls.name}` declares no such "
+                "field or method",
+            )

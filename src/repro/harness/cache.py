@@ -29,7 +29,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Union, cast
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union, cast
 
 from ..config import SimConfig
 
@@ -39,6 +39,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiment -> cache)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "FingerprintElision",
+    "FINGERPRINT_ELISIONS",
     "ResultCache",
     "config_fingerprint",
     "spec_fingerprint",
@@ -60,6 +62,59 @@ CACHE_SCHEMA_VERSION = 2
 #: Pickle protocol pinned so "byte-identical serialization" is well-defined
 #: across interpreter minor versions.
 _PICKLE_PROTOCOL = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class FingerprintElision:
+    """One deliberate exclusion from the cache content hash.
+
+    The fingerprints below hash whole objects (``dataclasses.asdict``), so
+    any field *left out* is a conscious decision that must carry its
+    reasoning.  This table is the machine-readable record of those
+    decisions: ``repro lint --deep`` (REPRO501/REPRO502) cross-checks it
+    against the actual ``del``/``pop`` elisions in the fingerprint code and
+    against every config/spec field read reachable from the simulation
+    entry points — an elided-but-read field without an entry here fails the
+    build, as does an entry whose elision no longer exists.
+    """
+
+    dataclass_name: str
+    field: str
+    reason: str
+
+
+#: The audited allowlist of fields that deliberately escape the hash.
+#: Keep entries next to the fingerprints they describe; ``field="*"``
+#: documents an entire object that never reaches the cache key.
+FINGERPRINT_ELISIONS: Tuple[FingerprintElision, ...] = (
+    FingerprintElision(
+        dataclass_name="SimConfig",
+        field="backend",
+        reason=(
+            "backend selects between implementations proven byte-identical "
+            "(tests/test_backend_differential.py); both must share cache "
+            "entries, and the key space predates the field"
+        ),
+    ),
+    FingerprintElision(
+        dataclass_name="RunSpec",
+        field="instances",
+        reason=(
+            "elided only at its backwards-compatible default (1, the classic "
+            "single-GPU run) so adding the knob did not orphan previously "
+            "cached entries; any non-default value still enters the payload"
+        ),
+    ),
+    FingerprintElision(
+        dataclass_name="ObsConfig",
+        field="*",
+        reason=(
+            "observability settings never reach cached results: traced runs "
+            "force use_cache=False (run_one/docgen), and obs output is "
+            "side-channel telemetry, not part of SimulationResult"
+        ),
+    ),
+)
 
 
 def _canonical_json(payload: object) -> str:

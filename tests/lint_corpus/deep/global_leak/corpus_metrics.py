@@ -1,0 +1,19 @@
+# expect: REPRO601, REPRO604
+# repro-lint: module=repro.analysis.corpus_metrics
+"""Analysis module dragged into the worker closure with a ``global`` write.
+
+``repro.analysis`` is outside PARALLEL_SCOPE, so the per-file REPRO301
+never looks here — but ``_pool_entry`` (global_leak/pool.py) calls
+``bump``, so every pool worker mutates its own copy of ``_CALLS``.  Deep
+mode must report both the scope drift (REPRO604: a module outside
+PARALLEL_SCOPE became worker-reachable) and the concrete hazard
+(REPRO601: the ``global`` write itself).
+"""
+
+_CALLS = 0
+
+
+def bump():
+    global _CALLS
+    _CALLS += 1
+    return _CALLS

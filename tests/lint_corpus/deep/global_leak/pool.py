@@ -1,0 +1,13 @@
+# expect:
+# repro-lint: module=repro.harness.parallel
+"""Worker entry point that innocently calls into an analysis helper.
+
+The hazard lives in the *callee's* module (see corpus_metrics.py) — this
+file itself is clean, so its expect header is empty.
+"""
+from repro.analysis.corpus_metrics import bump
+
+
+def _pool_entry(spec, config):
+    bump()
+    return spec

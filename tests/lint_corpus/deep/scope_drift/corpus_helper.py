@@ -1,0 +1,14 @@
+# expect: REPRO604
+# repro-lint: module=repro.analysis.corpus_helper
+"""Pure helper that drifted into the worker closure.
+
+No globals, no containers, no nondeterminism — but the module is outside
+PARALLEL_SCOPE and is now reachable from ``_pool_entry``, so the
+boundary declaration in devtools/boundary.py no longer matches reality.
+REPRO604 asks the author to either extend PARALLEL_SCOPE deliberately or
+cut the call edge.
+"""
+
+
+def scale(spec):
+    return spec * 2

@@ -1,0 +1,12 @@
+# expect:
+# repro-lint: module=repro.harness.parallel
+"""Worker entry point calling a pure helper outside PARALLEL_SCOPE.
+
+The helper is harmless (no shared state), so the only deep finding is the
+scope drift itself, anchored in the callee's module.
+"""
+from repro.analysis.corpus_helper import scale
+
+
+def _pool_entry(spec, config):
+    return scale(spec)

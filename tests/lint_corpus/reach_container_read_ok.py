@@ -1,0 +1,16 @@
+# expect:
+# repro-lint: module=repro.harness.parallel
+"""Reading module-level state from a worker is fine — only writes diverge.
+
+The lookup table is immutable-in-practice; ``_pool_entry`` reads it and
+calls a mutator-named method on a *local* container, neither of which is a
+shared-state hazard.  REPRO602 must stay silent.
+"""
+
+_LIMITS = {"STN": 4, "NW": 2}
+
+
+def _pool_entry(spec, config):
+    batch = []
+    batch.append(_LIMITS.get(spec, 1))
+    return batch

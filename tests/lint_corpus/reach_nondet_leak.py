@@ -1,0 +1,19 @@
+# expect: REPRO603
+# repro-lint: module=repro.harness.experiment
+"""Wall clock leaking into results through the harness boundary.
+
+``repro.harness.experiment`` is harness code, so the per-file REPRO102
+exempts it — but ``_now`` is transitively reachable from ``_execute``, the
+simulation entry point, so its ``time.time()`` flows into results (and
+therefore into cached entries).  Only the call-graph pass (REPRO603) can
+see this.
+"""
+import time
+
+
+def _now():
+    return time.time()
+
+
+def _execute(spec, config):
+    return _now()

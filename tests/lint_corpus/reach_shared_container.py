@@ -1,0 +1,16 @@
+# expect: REPRO602
+# repro-lint: module=repro.harness.parallel
+"""Worker-reachable mutation of module-level state, no ``global`` needed.
+
+``_pool_entry`` memoises into a module dict.  REPRO301 is blind (no
+``global`` statement), but every pool worker builds its own `_SEEN`, so
+worker state diverges from serial runs — the call-graph pass (REPRO602)
+must flag the subscript write.
+"""
+
+_SEEN = {}
+
+
+def _pool_entry(spec, config):
+    _SEEN[spec] = True
+    return spec

@@ -1,0 +1,46 @@
+# expect:
+# repro-lint: module=repro.harness.experiment
+"""The allowlisted twin of taint_unhashed_field_read.py.
+
+The same elided-but-read field, but here FINGERPRINT_ELISIONS records the
+elision with a justification, so REPRO501 must stay silent and REPRO502
+must accept the entry.
+"""
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FingerprintElision:
+    dataclass_name: str
+    field: str
+    reason: str
+
+
+FINGERPRINT_ELISIONS = (
+    FingerprintElision(
+        "CorpusSpec",
+        "seed",
+        "corpus fixture: seed is replayed from the workload recording, so "
+        "it cannot alter results here",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    app: str = "STN"
+    seed: int = 0
+
+
+def corpus_spec_fingerprint(spec: CorpusSpec) -> str:
+    payload = dataclasses.asdict(spec)
+    del payload["seed"]
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _execute(spec: CorpusSpec, config):
+    return spec.seed * 2

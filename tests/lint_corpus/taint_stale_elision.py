@@ -1,0 +1,44 @@
+# expect: REPRO502
+# repro-lint: module=repro.harness.experiment
+"""A stale allowlist entry: the fingerprint no longer elides the field.
+
+The table claims ``seed`` escapes the hash, but ``corpus_spec_fingerprint``
+hashes the whole object — the entry documents a hash that is not the one
+shipping (REPRO502).
+"""
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FingerprintElision:
+    dataclass_name: str
+    field: str
+    reason: str
+
+
+FINGERPRINT_ELISIONS = (
+    FingerprintElision(
+        "CorpusSpec",
+        "seed",
+        "stale claim: this elision was removed from the fingerprint long ago",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    app: str = "STN"
+    seed: int = 0
+
+
+def corpus_spec_fingerprint(spec: CorpusSpec) -> str:
+    payload = dataclasses.asdict(spec)
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _execute(spec: CorpusSpec, config):
+    return spec.seed * 2

@@ -1,0 +1,31 @@
+# expect: REPRO501
+# repro-lint: module=repro.harness.experiment
+"""A spec field is read on the simulation path but elided from the hash.
+
+``corpus_spec_fingerprint`` hashes the whole spec via ``asdict`` and then
+deletes ``seed`` from the payload — while ``_execute`` (a simulation entry
+point) reads ``spec.seed``.  Two runs differing only in seed would share a
+cache entry.  Deep-mode taint tracking (REPRO501) must connect the read to
+the elision; no FINGERPRINT_ELISIONS entry justifies it.
+"""
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    app: str = "STN"
+    seed: int = 0
+
+
+def corpus_spec_fingerprint(spec: CorpusSpec) -> str:
+    payload = dataclasses.asdict(spec)
+    del payload["seed"]
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _execute(spec: CorpusSpec, config):
+    return spec.seed * 2

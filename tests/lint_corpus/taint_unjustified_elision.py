@@ -1,0 +1,40 @@
+# expect: REPRO502
+# repro-lint: module=repro.harness.experiment
+"""An allowlist entry with no justification defeats the audit (REPRO502).
+
+The elision itself is recorded (so REPRO501 stays silent — the table *is*
+the record), but the empty reason string makes the entry unreviewable.
+"""
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FingerprintElision:
+    dataclass_name: str
+    field: str
+    reason: str
+
+
+FINGERPRINT_ELISIONS = (
+    FingerprintElision("CorpusSpec", "seed", ""),
+)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    app: str = "STN"
+    seed: int = 0
+
+
+def corpus_spec_fingerprint(spec: CorpusSpec) -> str:
+    payload = dataclasses.asdict(spec)
+    del payload["seed"]
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _execute(spec: CorpusSpec, config):
+    return spec.seed * 2

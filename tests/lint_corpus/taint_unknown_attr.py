@@ -1,0 +1,27 @@
+# expect: REPRO503
+# repro-lint: module=repro.harness.experiment
+"""Simulation-reachable read of an attribute the dataclass never declares.
+
+``_execute``'s parameter is annotated ``CorpusSpec``, which has no
+``debug_knob`` field or method — a typo that would only explode at runtime
+on this path.  REPRO503 catches it statically.
+"""
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    app: str = "STN"
+    seed: int = 0
+
+
+def corpus_spec_fingerprint(spec: CorpusSpec) -> str:
+    blob = json.dumps(dataclasses.asdict(spec), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _execute(spec: CorpusSpec, config):
+    return spec.debug_knob

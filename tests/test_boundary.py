@@ -1,0 +1,128 @@
+"""The boundary partition in devtools/boundary.py matches the real tree.
+
+These tests pin the *declared* partition (simulation / harness / shared,
+plus PARALLEL_SCOPE and the deep-mode entry points) against the package
+tree on disk: renaming a package, adding a new top-level module without
+classifying it, or pointing an entry point at a function that no longer
+exists must fail the suite — not silently widen or narrow what the lint
+rules police.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.boundary import (
+    CLI_ENTRY_POINTS,
+    HARNESS_PACKAGES,
+    HASHED_CONFIG_MODULES,
+    PARALLEL_SCOPE,
+    SHARED_MODULES,
+    SIMULATION_ENTRY_POINTS,
+    SIMULATION_PACKAGES,
+    WORKER_ENTRY_POINTS,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+PKG = REPO / "src" / "repro"
+
+CLASSIFICATION_SETS = {
+    "SIMULATION_PACKAGES": SIMULATION_PACKAGES,
+    "HARNESS_PACKAGES": HARNESS_PACKAGES,
+    "SHARED_MODULES": SHARED_MODULES,
+}
+
+
+def _module_path(dotted: str) -> Path:
+    """On-disk location of a dotted name (package dir or module file)."""
+    rel = Path(*dotted.split(".")[1:]) if "." in dotted else Path()
+    return PKG / rel
+
+
+def _on_disk(dotted: str) -> bool:
+    base = _module_path(dotted)
+    return base.is_dir() or base.with_suffix(".py").is_file()
+
+
+def _top_level_children() -> set:
+    """Dotted names of everything directly under src/repro."""
+    children = {"repro"}  # the package itself (__init__.py)
+    for entry in PKG.iterdir():
+        if entry.name in {"__pycache__", "py.typed", "__init__.py"}:
+            continue
+        if entry.is_dir() or entry.suffix == ".py":
+            children.add("repro." + entry.stem)
+    return children
+
+
+class TestPartition:
+    def test_classification_sets_are_disjoint(self):
+        names = list(CLASSIFICATION_SETS)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                overlap = CLASSIFICATION_SETS[a] & CLASSIFICATION_SETS[b]
+                assert not overlap, f"{a} and {b} both claim {overlap}"
+
+    def test_every_real_module_is_classified_exactly_once(self):
+        # The load-bearing direction: a renamed or brand-new package that
+        # nobody classified must fail here, because the per-file rules
+        # would otherwise silently skip it.
+        for child in sorted(_top_level_children()):
+            claims = [
+                name
+                for name, members in CLASSIFICATION_SETS.items()
+                if child in members
+            ]
+            assert len(claims) == 1, (
+                f"{child} is classified by {claims or 'no set'}; every "
+                "top-level module must appear in exactly one of "
+                "SIMULATION_PACKAGES / HARNESS_PACKAGES / SHARED_MODULES "
+                "(see devtools/boundary.py)"
+            )
+
+    def test_no_classification_entry_is_stale(self):
+        # The other direction: the sets must not keep names for code that
+        # no longer exists (a rename leaves the old name dangling).
+        for name, members in CLASSIFICATION_SETS.items():
+            for dotted in members:
+                assert _on_disk(dotted), f"{name} lists missing {dotted}"
+
+    def test_parallel_scope_members_exist(self):
+        for dotted in PARALLEL_SCOPE:
+            assert _on_disk(dotted), f"PARALLEL_SCOPE lists missing {dotted}"
+
+    def test_parallel_scope_covers_simulation_and_shared(self):
+        # Workers import the whole simulation plus the shared leaf modules;
+        # the deep pass (REPRO604) checks this against the real closure.
+        assert PARALLEL_SCOPE >= SIMULATION_PACKAGES
+        assert PARALLEL_SCOPE >= SHARED_MODULES - {"repro"}
+
+    def test_hashed_config_modules_exist(self):
+        for dotted in HASHED_CONFIG_MODULES:
+            assert _on_disk(dotted), f"HASHED_CONFIG_MODULES: {dotted}"
+
+
+class TestEntryPoints:
+    """The deep-mode closure roots point at functions that really exist."""
+
+    @staticmethod
+    def _assert_defines(qualified: str) -> None:
+        module, func = qualified.rsplit(".", 1)
+        path = _module_path(module).with_suffix(".py")
+        assert path.is_file(), f"{qualified}: no module file {path}"
+        assert f"def {func}(" in path.read_text(encoding="utf-8"), (
+            f"{qualified}: {path.name} does not define {func}() — the deep "
+            "closures would be empty and REPRO5xx/6xx would check nothing"
+        )
+
+    def test_worker_entry_points_exist(self):
+        for qual in WORKER_ENTRY_POINTS:
+            self._assert_defines(qual)
+
+    def test_simulation_entry_points_exist(self):
+        for qual in SIMULATION_ENTRY_POINTS:
+            self._assert_defines(qual)
+
+    def test_cli_entry_points_exist(self):
+        for qual in CLI_ENTRY_POINTS:
+            self._assert_defines(qual)

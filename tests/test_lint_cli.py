@@ -28,6 +28,15 @@ class TestParser:
         args = build_parser().parse_args(["lint", "a.py", "b.py", "--json"])
         assert args.paths == ["a.py", "b.py"]
         assert args.json
+        assert not args.deep
+        assert args.callgraph_cache is None
+
+    def test_lint_deep_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "--deep", "--callgraph-cache", ".cache/cg.json"]
+        )
+        assert args.deep
+        assert args.callgraph_cache == ".cache/cg.json"
 
 
 class TestExitCodes:
@@ -41,10 +50,12 @@ class TestExitCodes:
         "path", sorted(CORPUS.glob("*.py")), ids=lambda p: p.stem
     )
     def test_every_bad_corpus_snippet_exits_nonzero(self, path):
+        # --deep so the whole-program snippets (taint_*/reach_*) fire too;
+        # it is a strict superset of the cheap pass for the others.
         expects_findings = bool(
             path.read_text().splitlines()[0].split(":", 1)[1].strip()
         )
-        code = main(["lint", str(path)])
+        code = main(["lint", "--deep", str(path)])
         assert code == (1 if expects_findings else 0)
 
     def test_missing_path_is_usage_error(self, capsys):
@@ -53,6 +64,11 @@ class TestExitCodes:
 
     def test_repo_src_is_clean(self):
         assert main(["lint", str(REPO / "src")]) == 0
+
+    def test_repo_src_is_deep_clean(self):
+        # The acceptance gate for --deep: the shipped tree has no taint or
+        # reachability findings (pre-existing ones were fixed or allowlisted).
+        assert main(["lint", "--deep", str(REPO / "src")]) == 0
 
 
 class TestJsonOutput:
@@ -74,6 +90,19 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"] == []
 
+    def test_deep_block_reflects_mode(self, capsys):
+        assert main(["lint", "--json", str(CLEAN_SNIPPET)]) == 0
+        cheap = json.loads(capsys.readouterr().out)
+        assert cheap["deep"] == {
+            "enabled": False,
+            "summaries_extracted": 0,
+            "summaries_from_cache": 0,
+        }
+        assert main(["lint", "--json", "--deep", str(CLEAN_SNIPPET)]) == 0
+        deep = json.loads(capsys.readouterr().out)
+        assert deep["deep"]["enabled"] is True
+        assert deep["deep"]["summaries_extracted"] == 1
+
 
 class TestTextOutput:
     def test_findings_rendered_with_location_and_hint(self, capsys):
@@ -93,6 +122,9 @@ class TestListRules:
     def test_catalogue_lists_all_families(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("REPRO101", "REPRO201", "REPRO301", "REPRO401"):
+        for rule in (
+            "REPRO101", "REPRO201", "REPRO301", "REPRO401",
+            "REPRO501", "REPRO601",
+        ):
             assert rule in out
         assert "LINTING.md" in out

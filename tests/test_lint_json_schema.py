@@ -1,0 +1,170 @@
+"""`repro lint --json` output validates against the checked-in schema.
+
+CI uploads the deep-lint JSON report as a build artifact, so its shape is a
+public contract: `tests/lint_output.schema.json` *is* that contract, and
+this module validates real CLI output against it with a small stdlib-only
+validator (the container has no `jsonschema` package — the validator
+supports exactly the keywords the schema uses, and refuses schemas that
+use anything else so the contract cannot silently outgrow the checker).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+SCHEMA_PATH = REPO / "tests" / "lint_output.schema.json"
+CORPUS = REPO / "tests" / "lint_corpus"
+
+_KNOWN_KEYWORDS = {
+    "$schema", "title", "description",
+    "type", "const", "required", "properties", "additionalProperties",
+    "items", "minimum", "pattern", "minLength",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+}
+
+
+def validate(instance, schema, where="$"):
+    """Minimal JSON Schema (draft-07 subset) validator; raises on mismatch."""
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    assert not unknown, f"{where}: schema uses unsupported keywords {unknown}"
+
+    if "const" in schema:
+        assert instance == schema["const"], (
+            f"{where}: {instance!r} != const {schema['const']!r}"
+        )
+    if "type" in schema:
+        expected = _TYPES[schema["type"]]
+        assert isinstance(instance, expected) and not (
+            expected is int and isinstance(instance, bool)
+        ), f"{where}: {instance!r} is not of type {schema['type']}"
+    if "minimum" in schema:
+        assert instance >= schema["minimum"], (
+            f"{where}: {instance!r} < minimum {schema['minimum']}"
+        )
+    if "minLength" in schema:
+        assert len(instance) >= schema["minLength"], (
+            f"{where}: shorter than minLength {schema['minLength']}"
+        )
+    if "pattern" in schema:
+        assert re.search(schema["pattern"], instance), (
+            f"{where}: {instance!r} does not match {schema['pattern']!r}"
+        )
+    if "required" in schema:
+        missing = set(schema["required"]) - set(instance)
+        assert not missing, f"{where}: missing required keys {missing}"
+    if "properties" in schema:
+        if schema.get("additionalProperties") is False:
+            extra = set(instance) - set(schema["properties"])
+            assert not extra, f"{where}: unexpected keys {extra}"
+        for key, subschema in schema["properties"].items():
+            if key in instance:
+                validate(instance[key], subschema, f"{where}.{key}")
+    if "items" in schema:
+        for idx, item in enumerate(instance):
+            validate(item, schema["items"], f"{where}[{idx}]")
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+
+
+def _lint_json(capsys, *argv):
+    main(["lint", "--json", *argv])
+    return json.loads(capsys.readouterr().out)
+
+
+class TestValidator:
+    """The mini validator actually rejects bad documents."""
+
+    def test_rejects_wrong_type(self, schema):
+        with pytest.raises(AssertionError):
+            validate({"version": 2, "files_checked": "3"}, schema)
+
+    def test_rejects_missing_required(self, schema):
+        with pytest.raises(AssertionError):
+            validate({"version": 2}, schema)
+
+    def test_rejects_unknown_key(self, schema):
+        with pytest.raises(AssertionError):
+            validate(
+                {
+                    "version": 2,
+                    "files_checked": 0,
+                    "deep": {
+                        "enabled": False,
+                        "summaries_extracted": 0,
+                        "summaries_from_cache": 0,
+                    },
+                    "findings": [],
+                    "surprise": 1,
+                },
+                schema,
+            )
+
+    def test_rejects_bad_rule_id(self, schema):
+        finding = {
+            "path": "x.py",
+            "line": 1,
+            "column": 1,
+            "rule": "E501",
+            "message": "m",
+            "fix_hint": "h",
+        }
+        with pytest.raises(AssertionError):
+            validate(
+                {
+                    "version": 2,
+                    "files_checked": 1,
+                    "deep": {
+                        "enabled": False,
+                        "summaries_extracted": 0,
+                        "summaries_from_cache": 0,
+                    },
+                    "findings": [finding],
+                },
+                schema,
+            )
+
+
+class TestRealOutputValidates:
+    def test_cheap_clean_run(self, capsys, schema):
+        payload = _lint_json(capsys, str(CORPUS / "suppressed_wallclock.py"))
+        validate(payload, schema)
+        assert payload["deep"]["enabled"] is False
+
+    def test_cheap_run_with_findings(self, capsys, schema):
+        payload = _lint_json(capsys, str(CORPUS / "det_wallclock.py"))
+        validate(payload, schema)
+        assert payload["findings"]
+
+    def test_deep_run_with_findings(self, capsys, schema):
+        payload = _lint_json(
+            capsys, "--deep", str(CORPUS / "taint_unhashed_field_read.py")
+        )
+        validate(payload, schema)
+        assert payload["deep"]["enabled"] is True
+        assert payload["deep"]["summaries_extracted"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"REPRO501"}
+
+    def test_deep_repo_run(self, capsys, schema):
+        payload = _lint_json(capsys, "--deep", str(REPO / "src"))
+        validate(payload, schema)
+        assert payload["findings"] == []
+        assert payload["files_checked"] == payload["deep"][
+            "summaries_extracted"
+        ]

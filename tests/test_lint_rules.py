@@ -39,22 +39,52 @@ class TestRepoIsClean:
 
 
 class TestCorpus:
-    """Each known-bad snippet triggers exactly its intended rule."""
+    """Each known-bad snippet triggers exactly its intended rule.
+
+    The corpus is linted in deep mode so the whole-program families
+    (REPRO5xx/6xx) are exercised alongside the per-file ones; deep mode
+    must not change what any per-file snippet triggers.
+    """
 
     @pytest.mark.parametrize(
         "path", sorted(CORPUS.glob("*.py")), ids=lambda p: p.stem
     )
     def test_snippet_triggers_exactly_expected_rules(self, path):
-        report = run_lint([path])
+        report = run_lint([path], deep=True)
         triggered = {f.rule for f in report.findings}
         assert triggered == expected_rules(path)
+
+    @pytest.mark.parametrize(
+        "scenario",
+        sorted(p for p in (CORPUS / "deep").iterdir() if p.is_dir()),
+        ids=lambda p: p.name,
+    )
+    def test_deep_scenario_triggers_union_of_expected_rules(self, scenario):
+        # Multi-file scenarios: the hazard needs a call edge crossing a
+        # module boundary, so the expected set is the union over files.
+        expected = set()
+        for path in sorted(scenario.glob("*.py")):
+            expected |= expected_rules(path)
+        report = run_lint([scenario], deep=True)
+        triggered = {f.rule for f in report.findings}
+        assert triggered == expected
+
+    def test_deep_findings_anchor_in_the_culprit_file(self):
+        # REPRO601/604 must point at the module that drifted into the
+        # worker closure, not at the (clean) worker entry file.
+        report = run_lint([CORPUS / "deep" / "global_leak"], deep=True)
+        assert report.findings
+        for finding in report.findings:
+            assert Path(finding.path).name == "corpus_metrics.py"
 
     def test_corpus_covers_every_rule_family(self):
         covered = set()
         for path in CORPUS.glob("*.py"):
             covered.update(expected_rules(path))
+        for path in (CORPUS / "deep").glob("*/*.py"):
+            covered.update(expected_rules(path))
         assert {r[: len("REPRO1")] for r in covered} >= {
-            "REPRO1", "REPRO2", "REPRO3"
+            "REPRO1", "REPRO2", "REPRO3", "REPRO5", "REPRO6"
         }
 
 
@@ -303,6 +333,10 @@ class TestRatchetRule:
         # strict graduates explicitly.
         assert "repro.config" in STRICT_REQUIRED
         assert "repro.harness.cache" in STRICT_REQUIRED
+        # Graduated after their interfaces stabilised: the fault taxonomy
+        # and the findings/report layer.
+        assert "repro.harness.faults" in STRICT_REQUIRED
+        assert "repro.devtools.findings" in STRICT_REQUIRED
         assert not STRICT_REQUIRED & MYPY_ALLOWLIST_BASELINE
 
     def test_grown_allowlist_is_flagged(self, tmp_path):
