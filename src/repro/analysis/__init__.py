@@ -2,7 +2,8 @@
 
 from .metrics import geomean, mean, normalize_to, speedup, OverheadReport, overhead_report
 from .classify import untouch_profile, classify_untouch_category
-from .sweep import SweepPoint, SweepResult, capacity_sweep, find_knee
+from .sweep import SweepPoint, SweepResult, capacity_sweep, crash_rate, find_knee
+from .adaptive import AdaptiveConfig, AdaptiveSweep, adaptive_sweep
 
 __all__ = [
     "geomean",
@@ -16,5 +17,9 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "capacity_sweep",
+    "crash_rate",
     "find_knee",
+    "AdaptiveConfig",
+    "AdaptiveSweep",
+    "adaptive_sweep",
 ]

@@ -1,0 +1,487 @@
+"""Adaptive, convergence-driven capacity sweeps.
+
+A fixed rate grid (``analysis.sweep.DEFAULT_RATES``) wastes simulations
+where the slowdown curve is flat and under-samples where it bends.  This
+module drives the same spec-build / normalise stages as
+:func:`~repro.analysis.sweep.capacity_sweep` through a feedback loop
+instead:
+
+1. **simulate** a coarse seed grid through the batch engine
+   (:func:`~repro.harness.experiment.submit_batch` — jobs, persistent
+   cache and fault tolerance all inherited);
+2. **fit** a cheap response-surface model of slowdown vs. rate — a
+   monotone piecewise-cubic Hermite interpolant (Fritsch–Carlson PCHIP,
+   pure numpy), which cannot overshoot between samples;
+3. **propose** the next rates where the model is least trusted: intervals
+   that bracket the knee threshold first, then highest curvature;
+4. **check convergence** — stop when two successive fits agree within a
+   tolerance everywhere on a dense rate grid, or when the simulation
+   budget is exhausted.
+
+Proposals are a pure function of prior results (no wall clock, no RNG), so
+re-running a converged sweep proposes the identical rates and — because
+every proposed rate flows through :class:`~repro.harness.experiment.RunSpec`
+and the persistent result cache — performs **zero** new simulations.
+
+Crashed points (``slowdown = nan``) are excluded from the model; the loop
+keeps bisecting toward the crash boundary from the valid side, and
+:func:`~repro.analysis.sweep.crash_rate` reports the boundary afterwards.
+
+Observability: when given an enabled ``obs``, the driver increments the
+``sweep/rounds``, ``sweep/proposed_points``, ``sweep/cached_points`` and
+``sweep/simulated_points`` counters (the sweep's simulations themselves run
+untraced, so the result cache stays in play).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.simulator import SimulationResult
+from ..errors import ReproError
+from ..harness.experiment import BatchStats, submit_batch
+from ..harness.faults import FaultTolerance
+from ..obs import DISABLED, Observability
+from .sweep import SweepResult, normalise_sweep, sweep_specs
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSweep",
+    "MonotoneModel",
+    "adaptive_sweep",
+    "fit_monotone_model",
+    "models_agree",
+    "propose_rates",
+]
+
+#: Dense evaluation grid used for convergence checks and model knees.
+GRID_POINTS = 129
+
+
+# ---------------------------------------------------------------------------
+# Response-surface model: monotone PCHIP (Fritsch–Carlson), pure numpy.
+# ---------------------------------------------------------------------------
+
+
+def _edge_slope(h0: float, h1: float, d0: float, d1: float) -> float:
+    """One-sided three-point endpoint slope with the monotonicity clamp."""
+    m = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1)
+    if m * d0 <= 0.0:
+        return 0.0
+    if d0 * d1 <= 0.0 and abs(m) > 3.0 * abs(d0):
+        return 3.0 * d0
+    return m
+
+
+@dataclass(frozen=True)
+class MonotoneModel:
+    """A fitted monotone piecewise-cubic Hermite interpolant.
+
+    Knots are ``rates`` (strictly ascending); between knots the curve is a
+    cubic Hermite segment whose slopes are limited so the interpolant never
+    overshoots monotone data (the Fritsch–Carlson construction).  Queries
+    outside the knot span clamp to the endpoint values.
+    """
+
+    rates: Tuple[float, ...]
+    values: Tuple[float, ...]
+    slopes: Tuple[float, ...]
+
+    def predict(self, query: Sequence[float]) -> np.ndarray:
+        x = np.asarray(self.rates, dtype=float)
+        y = np.asarray(self.values, dtype=float)
+        m = np.asarray(self.slopes, dtype=float)
+        q = np.clip(np.asarray(query, dtype=float), x[0], x[-1])
+        idx = np.clip(np.searchsorted(x, q, side="right") - 1, 0, x.size - 2)
+        h = x[idx + 1] - x[idx]
+        t = (q - x[idx]) / h
+        h00 = (1.0 + 2.0 * t) * (1.0 - t) ** 2
+        h10 = t * (1.0 - t) ** 2
+        h01 = t * t * (3.0 - 2.0 * t)
+        h11 = t * t * (t - 1.0)
+        return h00 * y[idx] + h10 * h * m[idx] + h01 * y[idx + 1] + h11 * h * m[idx + 1]
+
+    def __call__(self, rate: float) -> float:
+        return float(self.predict((rate,))[0])
+
+    def knee(self, threshold: float) -> Optional[float]:
+        """Largest rate where the modelled slowdown reaches ``threshold``.
+
+        The continuous analogue of :func:`~repro.analysis.sweep.find_knee`:
+        located on the dense grid, then refined by bisection inside the
+        straddling cell.  None when the model never reaches the threshold.
+        """
+        grid = np.linspace(self.rates[0], self.rates[-1], GRID_POINTS)
+        above = np.nonzero(self.predict(grid) >= threshold)[0]
+        if above.size == 0:
+            return None
+        i = int(above[-1])
+        if i == grid.size - 1:
+            return float(grid[-1])
+        lo, hi = float(grid[i]), float(grid[i + 1])  # f(lo) >= threshold > f(hi)
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            if self(mid) >= threshold:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+
+def fit_monotone_model(
+    rates: Sequence[float], slowdowns: Sequence[float]
+) -> MonotoneModel:
+    """Fit the monotone PCHIP through ``(rate, slowdown)`` samples.
+
+    Needs at least two samples with distinct rates; order does not matter.
+    Two samples degrade to the straight line through them.
+    """
+    order = np.argsort(np.asarray(rates, dtype=float))
+    x = np.asarray(rates, dtype=float)[order]
+    y = np.asarray(slowdowns, dtype=float)[order]
+    if x.size < 2:
+        raise ReproError(f"need at least two points to fit a model, got {x.size}")
+    if np.any(np.diff(x) <= 0):
+        raise ReproError("model rates must be distinct")
+    h = np.diff(x)
+    d = np.diff(y) / h
+    if x.size == 2:
+        m = np.array([d[0], d[0]])
+    else:
+        m = np.empty_like(x)
+        for k in range(1, x.size - 1):
+            if d[k - 1] == 0.0 or d[k] == 0.0 or (d[k - 1] > 0.0) != (d[k] > 0.0):
+                m[k] = 0.0
+            else:
+                w1 = 2.0 * h[k] + h[k - 1]
+                w2 = h[k] + 2.0 * h[k - 1]
+                m[k] = (w1 + w2) / (w1 / d[k - 1] + w2 / d[k])
+        m[0] = _edge_slope(h[0], h[1], d[0], d[1])
+        m[-1] = _edge_slope(h[-1], h[-2], d[-1], d[-2])
+    return MonotoneModel(tuple(x), tuple(y), tuple(m))
+
+
+def models_agree(a: MonotoneModel, b: MonotoneModel, tolerance: float) -> bool:
+    """Do two fits agree within ``tolerance`` everywhere?
+
+    Maximum relative disagreement over a dense grid spanning the models'
+    common rate range (slowdowns are >= 1, so the relative form keeps the
+    tolerance meaningful from gentle 1.1x curves up to 20x cliffs).
+    """
+    lo = max(a.rates[0], b.rates[0])
+    hi = min(a.rates[-1], b.rates[-1])
+    if hi <= lo:
+        return False
+    grid = np.linspace(lo, hi, GRID_POINTS)
+    va, vb = a.predict(grid), b.predict(grid)
+    worst = float(np.max(np.abs(va - vb) / np.maximum(1.0, np.abs(vb))))
+    return worst <= tolerance
+
+
+# ---------------------------------------------------------------------------
+# Proposal stage: where to simulate next.  Pure function of prior results.
+# ---------------------------------------------------------------------------
+
+
+def _quantise(rate: float) -> float:
+    """Snap proposals to a 1e-3 grid so rate keys never accumulate float
+    dust across rounds (proposals must reproduce exactly on re-runs)."""
+    return round(rate, 3)
+
+
+def _clear_of(candidate: float, taken: Sequence[float], min_gap: float) -> bool:
+    return all(abs(candidate - r) >= min_gap for r in taken)
+
+
+def propose_rates(
+    valid: Sequence[Tuple[float, float]],
+    sampled: Sequence[float],
+    count: int,
+    min_gap: float = 0.02,
+    threshold: float = 1.5,
+) -> List[float]:
+    """Propose up to ``count`` new rates from prior results.
+
+    ``valid`` holds ``(rate, slowdown)`` samples with finite slowdowns;
+    ``sampled`` every rate already simulated (crashed and failed included —
+    they cost budget and must not be re-proposed).  Deterministic: intervals
+    between adjacent valid samples are scored — knee-threshold bracketing
+    first, then discrete curvature x width — and their midpoints returned
+    in score order, skipping anything within ``min_gap`` of a prior sample.
+
+    With fewer than two valid samples there is no curve to score; the one
+    recoverable situation is a valid anchor above a crashed/failed region,
+    where the gap down to the highest broken sample is bisected instead.
+    """
+    if count <= 0:
+        return []
+    valid = sorted(valid)
+    taken = sorted(sampled)
+    if len(valid) < 2:
+        if not valid:
+            return []
+        top = valid[-1][0]
+        below = [r for r in taken if r < top]
+        if not below:
+            return []
+        candidate = _quantise(0.5 * (max(below) + top))
+        return [candidate] if _clear_of(candidate, taken, min_gap) else []
+
+    rates = [r for r, _ in valid]
+    slow = [s for _, s in valid]
+    secants = [
+        (slow[i + 1] - slow[i]) / (rates[i + 1] - rates[i])
+        for i in range(len(rates) - 1)
+    ]
+    scored: List[Tuple[Tuple[int, float, float, float], float]] = []
+    for i in range(len(rates) - 1):
+        lo, hi = rates[i], rates[i + 1]
+        width = hi - lo
+        if width < 2.0 * min_gap:
+            continue  # refined to the resolution floor
+        crosses = (slow[i] >= threshold) != (slow[i + 1] >= threshold)
+        curvature = 0.0
+        if i > 0:
+            curvature += abs(secants[i] - secants[i - 1])
+        if i + 1 < len(secants):
+            curvature += abs(secants[i + 1] - secants[i])
+        midpoint = _quantise(0.5 * (lo + hi))
+        score = (int(crosses), curvature * width, width, lo)
+        scored.append((score, midpoint))
+    scored.sort(key=lambda item: item[0], reverse=True)
+
+    proposals: List[float] = []
+    for _, midpoint in scored:
+        if len(proposals) >= count:
+            break
+        if _clear_of(midpoint, taken, min_gap) and _clear_of(
+            midpoint, proposals, min_gap
+        ):
+            proposals.append(midpoint)
+    return proposals
+
+
+# ---------------------------------------------------------------------------
+# The driver.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tuning knobs for :class:`AdaptiveSweep`.
+
+    ``budget`` bounds *sampled rates* (simulation attempts), not fresh
+    executions — a warm cache makes rounds cheaper but never changes what
+    gets proposed, so converged sweeps replay identically.
+
+    The default ``tolerance`` (15% relative, everywhere on the dense grid)
+    resolves working-set knees to well under the fixed grid's 0.1-rate
+    resolution while converging in 4-6 simulations on the paper's
+    thrashing apps (vs. 7 for ``DEFAULT_RATES``); tighten it when the
+    whole curve matters, not just the knee.
+    """
+
+    seed_rates: Tuple[float, ...] = (1.0, 0.7, 0.4)
+    budget: int = 12
+    tolerance: float = 0.15
+    round_size: int = 1
+    min_gap: float = 0.02
+    knee_threshold: float = 1.5
+    max_rounds: int = 16
+
+    def __post_init__(self) -> None:
+        if self.budget < 2:
+            raise ReproError(f"budget must be >= 2, got {self.budget}")
+        if self.tolerance < 0:
+            raise ReproError(f"tolerance must be >= 0, got {self.tolerance}")
+        if self.round_size < 1:
+            raise ReproError(f"round_size must be >= 1, got {self.round_size}")
+        if self.max_rounds < 1:
+            raise ReproError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if not self.seed_rates:
+            raise ReproError("seed_rates must not be empty")
+        for rate in self.seed_rates:
+            if not 0.0 < rate <= 1.0:
+                raise ReproError(f"seed rate {rate} outside (0, 1]")
+
+
+class AdaptiveSweep:
+    """Convergence-driven capacity sweep for one app under one setup.
+
+    Wraps the same spec-build / normalise stages as
+    :func:`~repro.analysis.sweep.capacity_sweep` in a simulate → fit →
+    propose → converge loop (module docstring).  ``run()`` returns a
+    :class:`~repro.analysis.sweep.SweepResult` whose ``rounds`` /
+    ``converged`` fields describe the loop; the driver keeps the fitted
+    model and per-source counters for inspection afterwards.
+
+    ``submit`` is the batch entry point (default
+    :func:`~repro.harness.experiment.submit_batch`); tests inject a
+    synthetic one to drive the loop over closed-form curves.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        setup: str = "baseline",
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+        crash_budget_factor: Optional[float] = None,
+        jobs: Optional[int] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
+        fault_tolerance: Optional[FaultTolerance] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+        obs: Optional[Observability] = None,
+        submit: Optional[Callable[..., Tuple[Dict, BatchStats]]] = None,
+    ):
+        self.app = app
+        self.setup = setup
+        self.scale = scale
+        self.seed = seed
+        self.crash_budget_factor = crash_budget_factor
+        self.jobs = jobs
+        self.adaptive = adaptive or AdaptiveConfig()
+        self.fault_tolerance = fault_tolerance
+        self.progress = progress
+        self.obs = obs or DISABLED
+        self._submit = submit or submit_batch
+        # Populated by run():
+        self.rounds = 0
+        self.converged = False
+        self.model: Optional[MonotoneModel] = None
+        self.history: List[Tuple[float, ...]] = []  # rates run per round
+        self.new_simulations = 0  # executed fresh (not served from a cache)
+        self.cached = 0  # served from the memo / persistent cache
+
+    # -- batch plumbing -----------------------------------------------------
+
+    def _run_round(
+        self,
+        rates: Sequence[float],
+        sampled: Dict[float, Optional[SimulationResult]],
+        by_key: Dict[Tuple, Optional[SimulationResult]],
+    ) -> None:
+        """Run the not-yet-sampled rates of ``rates`` through the engine."""
+        ordered, specs = sweep_specs(
+            self.app,
+            self.setup,
+            rates,
+            scale=self.scale,
+            seed=self.seed,
+            crash_budget_factor=self.crash_budget_factor,
+        )
+        new = [(r, sp) for r, sp in zip(ordered, specs) if r not in sampled]
+        if not new:
+            return
+        self.history.append(tuple(r for r, _ in new))
+        results, stats = self._submit(
+            [sp for _, sp in new],
+            jobs=self.jobs,
+            progress=self.progress,
+            fault_tolerance=self.fault_tolerance,
+        )
+        for rate, spec in new:
+            result = results[spec.key()]
+            sampled[rate] = result
+            by_key[spec.key()] = result
+        self.new_simulations += stats.simulated
+        self.cached += stats.cached
+        self.obs.metrics.counter("sweep/simulated_points").inc(stats.simulated)
+        self.obs.metrics.counter("sweep/cached_points").inc(stats.cached)
+
+    def _normalise(
+        self,
+        sampled: Dict[float, Optional[SimulationResult]],
+        by_key: Dict[Tuple, Optional[SimulationResult]],
+        rounds: int,
+        converged: Optional[bool],
+    ) -> SweepResult:
+        ordered, specs = sweep_specs(
+            self.app,
+            self.setup,
+            sampled.keys(),
+            scale=self.scale,
+            seed=self.seed,
+            crash_budget_factor=self.crash_budget_factor,
+        )
+        return normalise_sweep(
+            self.app, self.setup, ordered, specs, by_key,
+            rounds=rounds, converged=converged,
+        )
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        cfg = self.adaptive
+        sampled: Dict[float, Optional[SimulationResult]] = {}
+        by_key: Dict[Tuple, Optional[SimulationResult]] = {}
+        prev_model: Optional[MonotoneModel] = None
+        model: Optional[MonotoneModel] = None
+        converged = False
+        rounds = 0
+        # Seed grid: anchor-first descending, truncated to the budget (the
+        # 1.0 anchor always survives truncation — it sorts first).
+        batch: Sequence[float] = tuple(
+            sorted(set(cfg.seed_rates) | {1.0}, reverse=True)
+        )[: cfg.budget]
+
+        while batch and rounds < cfg.max_rounds:
+            rounds += 1
+            self.obs.metrics.counter("sweep/rounds").inc()
+            self._run_round(batch, sampled, by_key)
+            # Normalising raises HarnessError if the anchor failed/crashed.
+            interim = self._normalise(sampled, by_key, rounds, None)
+            valid = sorted(
+                (p.rate, p.slowdown)
+                for p in interim.points
+                if not p.crashed and not math.isnan(p.slowdown)
+            )
+            if len(valid) >= 2:
+                model = fit_monotone_model(
+                    [r for r, _ in valid], [s for _, s in valid]
+                )
+                if prev_model is not None and models_agree(
+                    prev_model, model, cfg.tolerance
+                ):
+                    converged = True
+                    break
+                prev_model = model
+            remaining = cfg.budget - interim.simulations()
+            if remaining <= 0:
+                break
+            batch = propose_rates(
+                valid,
+                sorted(sampled),
+                min(cfg.round_size, remaining),
+                min_gap=cfg.min_gap,
+                threshold=cfg.knee_threshold,
+            )
+            if not batch:
+                # Every interval is refined to the min_gap floor: there is
+                # no informative rate left to buy with the remaining budget.
+                converged = True
+                break
+            self.obs.metrics.counter("sweep/proposed_points").inc(len(batch))
+
+        self.rounds = rounds
+        self.converged = converged
+        self.model = model
+        return self._normalise(sampled, by_key, rounds, converged)
+
+    def knee_estimate(self, threshold: Optional[float] = None) -> Optional[float]:
+        """Continuous working-set knee from the fitted model (None before
+        ``run()`` or when the curve never reaches the threshold)."""
+        if self.model is None:
+            return None
+        return self.model.knee(
+            self.adaptive.knee_threshold if threshold is None else threshold
+        )
+
+
+def adaptive_sweep(app: str, setup: str = "baseline", **kwargs) -> SweepResult:
+    """One-call form of :class:`AdaptiveSweep` (drops the driver state)."""
+    return AdaptiveSweep(app, setup, **kwargs).run()

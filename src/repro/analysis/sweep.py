@@ -4,10 +4,27 @@ The paper evaluates two operating points (75% and 50%).  This utility
 generalises that to a full curve — useful to locate the working-set knee of
 an application under a given policy pair, and to compare how gracefully
 different setups degrade (see ``examples/oversubscription_sweep.py``).
+
+The sweep is split into two pure stages so other drivers (notably the
+adaptive loop in :mod:`repro.analysis.adaptive`) can reuse them:
+
+* :func:`sweep_specs` — rate list to :class:`~repro.harness.experiment.RunSpec`
+  batch (anchor rate 1.0 always included, rates sorted descending);
+* :func:`normalise_sweep` — raw results to a :class:`SweepResult` with
+  slowdowns normalised against the rate-1.0 anchor.
+
+Crashed-run semantics: a *crashed* simulation terminates early, so its cycle
+count is not a runtime.  The rate-1.0 anchor crashing therefore raises
+:class:`~repro.errors.HarnessError` (nothing can be normalised against it),
+and a non-anchor crashed point carries ``slowdown = nan`` — ``cycles`` /
+``far_faults`` stay available for inspection, but the ratio would be
+meaningless.  :func:`find_knee` skips crashed points; use :func:`crash_rate`
+to locate the crash boundary explicitly.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -15,18 +32,30 @@ from ..errors import HarnessError, ReproError
 from ..harness.experiment import RunSpec, run_matrix
 from ..harness.faults import FaultTolerance
 
-__all__ = ["SweepPoint", "SweepResult", "capacity_sweep", "find_knee"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep_specs",
+    "normalise_sweep",
+    "capacity_sweep",
+    "find_knee",
+    "crash_rate",
+]
 
 DEFAULT_RATES: Tuple[float, ...] = (1.0, 0.9, 0.8, 0.75, 0.6, 0.5, 0.4)
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (rate, outcome) sample of the curve."""
+    """One (rate, outcome) sample of the curve.
+
+    ``slowdown`` is ``nan`` for crashed points (a crashed run's cycle count
+    is not a runtime; see the module docstring).
+    """
 
     rate: float
     cycles: int
-    slowdown: float  # relative to the unconstrained run
+    slowdown: float  # relative to the unconstrained run; nan when crashed
     far_faults: int
     chunks_evicted: int
     crashed: bool = False
@@ -39,12 +68,19 @@ class SweepResult:
     ``failures`` lists the rates whose run failed in the harness under a
     ``keep_going`` fault-tolerance policy (no :class:`SweepPoint` exists for
     those — distinct from ``crashed`` points, which are simulation results).
+
+    ``rounds``/``converged`` describe how the curve was sampled: a fixed
+    grid is one round with ``converged=None`` (convergence is not a concept
+    there); the adaptive driver sets the number of simulate→fit→propose
+    rounds it ran and whether successive model fits agreed within tolerance.
     """
 
     app: str
     setup: str
     points: List[SweepPoint] = field(default_factory=list)
     failures: List[float] = field(default_factory=list)
+    rounds: int = 1
+    converged: Optional[bool] = None
 
     def slowdown_at(self, rate: float) -> float:
         for p in self.points:
@@ -53,40 +89,63 @@ class SweepResult:
         raise ReproError(f"rate {rate} not in sweep for {self.app}")
 
     def as_series(self) -> Dict[str, float]:
+        """``{"75%": slowdown, ...}`` — crashed points appear as ``nan``."""
         return {f"{p.rate:.0%}": p.slowdown for p in self.points}
 
+    def simulations(self) -> int:
+        """Simulations this curve cost (sampled points + harness failures)."""
+        return len(self.points) + len(self.failures)
 
-def capacity_sweep(
+
+def sweep_specs(
     app: str,
-    setup: str = "baseline",
-    rates: Sequence[float] = DEFAULT_RATES,
+    setup: str,
+    rates: Sequence[float],
     scale: float = 1.0,
     seed: Optional[int] = None,
-    jobs: Optional[int] = None,
-    progress: Optional[Callable[[int, int], None]] = None,
-    fault_tolerance: Optional[FaultTolerance] = None,
-) -> SweepResult:
-    """Run ``app`` under ``setup`` across capacity rates.
+    crash_budget_factor: Optional[float] = None,
+) -> Tuple[Tuple[float, ...], List[RunSpec]]:
+    """The spec-build stage: rates to a :class:`RunSpec` batch.
 
-    Rates must include 1.0 (or it is added) — the unconstrained run anchors
-    the slowdown normalisation.  The points are independent simulations, so
-    ``jobs > 1`` fans them out over the parallel experiment engine (and all
-    points go through the persistent result cache either way).
-
-    Under a ``keep_going`` fault-tolerance policy a failed point is dropped
-    from the curve and recorded in ``SweepResult.failures`` — except the
-    1.0 anchor, whose loss makes every slowdown undefined and raises
-    :class:`~repro.errors.HarnessError`.
+    Rate 1.0 is always included (it anchors the slowdown normalisation) and
+    the returned rates are sorted descending, one spec per rate, aligned by
+    index.  Pure — safe for an adaptive driver to call once per round.
     """
-    rates = sorted(set(rates) | {1.0}, reverse=True)
+    ordered = tuple(sorted(set(rates) | {1.0}, reverse=True))
     specs = [
-        RunSpec(app, setup, None if rate >= 1.0 else rate, scale=scale, seed=seed)
-        for rate in rates
+        RunSpec(
+            app,
+            setup,
+            None if rate >= 1.0 else rate,
+            scale=scale,
+            seed=seed,
+            crash_budget_factor=crash_budget_factor,
+        )
+        for rate in ordered
     ]
-    results = run_matrix(
-        specs, jobs=jobs, progress=progress, fault_tolerance=fault_tolerance
+    return ordered, specs
+
+
+def normalise_sweep(
+    app: str,
+    setup: str,
+    rates: Sequence[float],
+    specs: Sequence[RunSpec],
+    results: Dict[Tuple, Optional[object]],
+    rounds: int = 1,
+    converged: Optional[bool] = None,
+) -> SweepResult:
+    """The normalise stage: raw batch results to a :class:`SweepResult`.
+
+    ``rates``/``specs`` must be aligned as produced by :func:`sweep_specs`
+    (descending, anchor first).  Raises :class:`HarnessError` when the
+    rate-1.0 anchor is missing (harness failure) *or crashed* — a crashed
+    anchor has no defined runtime, so every slowdown would be a ratio
+    against garbage.  Non-anchor crashed points get ``slowdown = nan``.
+    """
+    result = SweepResult(
+        app=app, setup=setup, rounds=rounds, converged=converged
     )
-    result = SweepResult(app=app, setup=setup)
     reference_cycles: Optional[int] = None
     for rate, spec in zip(rates, specs):
         sim_result = results[spec.key()]
@@ -99,13 +158,24 @@ def capacity_sweep(
             result.failures.append(rate)
             continue
         if rate >= 1.0:
+            if sim_result.crashed:
+                reason = sim_result.crash_reason or "no reason recorded"
+                raise HarnessError(
+                    f"capacity sweep for {app}/{setup}: the rate-1.0 anchor "
+                    f"run crashed ({reason}); a crashed run's cycle count is "
+                    "not a runtime, so slowdowns cannot be normalised"
+                )
             reference_cycles = sim_result.total_cycles
         assert reference_cycles is not None
         result.points.append(
             SweepPoint(
                 rate=rate,
                 cycles=sim_result.total_cycles,
-                slowdown=sim_result.total_cycles / reference_cycles,
+                slowdown=(
+                    float("nan")
+                    if sim_result.crashed
+                    else sim_result.total_cycles / reference_cycles
+                ),
                 far_faults=sim_result.stats.far_faults,
                 chunks_evicted=sim_result.stats.chunks_evicted,
                 crashed=sim_result.crashed,
@@ -114,14 +184,69 @@ def capacity_sweep(
     return result
 
 
+def capacity_sweep(
+    app: str,
+    setup: str = "baseline",
+    rates: Sequence[float] = DEFAULT_RATES,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
+    crash_budget_factor: Optional[float] = None,
+) -> SweepResult:
+    """Run ``app`` under ``setup`` across capacity rates (fixed grid).
+
+    Rates must include 1.0 (or it is added) — the unconstrained run anchors
+    the slowdown normalisation.  The points are independent simulations, so
+    ``jobs > 1`` fans them out over the parallel experiment engine (and all
+    points go through the persistent result cache either way).
+
+    Under a ``keep_going`` fault-tolerance policy a failed point is dropped
+    from the curve and recorded in ``SweepResult.failures`` — except the
+    1.0 anchor, whose loss (by harness failure *or* simulated crash) makes
+    every slowdown undefined and raises :class:`~repro.errors.HarnessError`.
+
+    ``crash_budget_factor`` enables the runaway-thrashing crash model for
+    every point (see :class:`~repro.harness.experiment.RunSpec`); points
+    that crash carry ``slowdown = nan``.
+    """
+    ordered, specs = sweep_specs(
+        app, setup, rates, scale=scale, seed=seed,
+        crash_budget_factor=crash_budget_factor,
+    )
+    results = run_matrix(
+        specs, jobs=jobs, progress=progress, fault_tolerance=fault_tolerance
+    )
+    return normalise_sweep(app, setup, ordered, specs, results)
+
+
 def find_knee(sweep: SweepResult, threshold: float = 1.5) -> Optional[float]:
     """The largest rate at which slowdown exceeds ``threshold``.
 
     Returns None when the application never crosses the threshold (its
     working set fits at every tested rate).  For thrashing applications the
     knee sits near the working-set size; for streaming ones there is none.
+
+    Crashed points are skipped: a crashed run's cycle count is bogus (the
+    simulation terminated early), so it must never register as a threshold
+    crossing.  A sweep whose curve only "crosses" by crashing therefore has
+    no knee here — use :func:`crash_rate` to locate the crash boundary.
     """
     for point in sweep.points:  # sorted by descending rate
-        if point.slowdown >= threshold:
+        if point.crashed:
+            continue
+        if not math.isnan(point.slowdown) and point.slowdown >= threshold:
             return point.rate
     return None
+
+
+def crash_rate(sweep: SweepResult) -> Optional[float]:
+    """The largest rate whose run crashed, or None when nothing crashed.
+
+    The explicit companion to :func:`find_knee` for sweeps run under a
+    crash model: below this rate the application does not complete at all,
+    which is a harder boundary than any slowdown threshold.
+    """
+    crashed = [p.rate for p in sweep.points if p.crashed]
+    return max(crashed) if crashed else None

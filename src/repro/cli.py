@@ -18,7 +18,10 @@ Commands
     use outside the harness (and for bring-your-own-trace round trips).
 ``sweep``
     Capacity sweep for one application: slowdown vs oversubscription rate,
-    with working-set knee detection.
+    with working-set knee detection.  ``--adaptive`` replaces the fixed
+    rate grid with the convergence-driven loop (simulate, fit a monotone
+    model, sample where the curve bends, stop when fits agree or
+    ``--budget`` is exhausted).
 ``regen``
     Regenerate any set of figures/tables (or ``all``) through the parallel
     experiment engine: ``--jobs N`` workers, persistent result cache
@@ -148,11 +151,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser("sweep", help="capacity sweep for one app")
     sweep_p.add_argument("app")
     sweep_p.add_argument("--setup", default="baseline", choices=sorted(SETUPS))
-    sweep_p.add_argument("--rates", nargs="*", type=float, default=None)
+    sweep_p.add_argument("--rates", nargs="*", type=float, default=None,
+                         help="fixed rate grid (ignored with --adaptive)")
     sweep_p.add_argument("--scale", type=float, default=1.0)
     sweep_p.add_argument("--knee-threshold", type=float, default=1.5)
     sweep_p.add_argument("--jobs", "-j", type=int, default=None,
                          help="parallel workers (default: serial)")
+    sweep_p.add_argument(
+        "--adaptive", action="store_true",
+        help="convergence-driven sweep: seed a coarse grid, fit a monotone "
+             "model, simulate where the curve bends, stop when successive "
+             "fits agree (fewer simulations than a fixed grid for the same "
+             "knee estimate)",
+    )
+    sweep_p.add_argument(
+        "--budget", type=int, default=None,
+        help="adaptive only: max sampled rates, seed grid included "
+             "(default: 12)",
+    )
+    sweep_p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="adaptive only: max relative disagreement between successive "
+             "model fits counted as converged (default: 0.15)",
+    )
+    sweep_p.add_argument(
+        "--seed-rates", nargs="*", type=float, default=None,
+        help="adaptive only: first-round rate grid (default: 1.0 0.7 0.4; "
+             "1.0 is always included — it anchors the slowdowns)",
+    )
+    sweep_p.add_argument(
+        "--crash-budget-factor", type=float, default=None,
+        help="enable the runaway-thrashing crash model with this eviction "
+             "budget (multiples of the footprint's chunk count); crashed "
+             "points are excluded from the knee and reported as crash_rate",
+    )
+    sweep_p.add_argument("--json", action="store_true",
+                         help="emit the sweep as JSON (crashed points "
+                              "carry slowdown null)")
 
     regen_p = sub.add_parser(
         "regen",
@@ -425,27 +460,96 @@ def _traced_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis.sweep import DEFAULT_RATES, capacity_sweep, find_knee
+    import math
 
-    rates = tuple(args.rates) if args.rates else DEFAULT_RATES
-    sweep = capacity_sweep(args.app, args.setup, rates=rates, scale=args.scale,
-                           jobs=args.jobs)
+    from .analysis.adaptive import AdaptiveConfig, AdaptiveSweep
+    from .analysis.sweep import (
+        DEFAULT_RATES,
+        capacity_sweep,
+        crash_rate,
+        find_knee,
+    )
+
+    driver = None
+    if args.adaptive:
+        overrides = {"knee_threshold": args.knee_threshold}
+        if args.budget is not None:
+            overrides["budget"] = args.budget
+        if args.tolerance is not None:
+            overrides["tolerance"] = args.tolerance
+        if args.seed_rates:
+            overrides["seed_rates"] = tuple(args.seed_rates)
+        driver = AdaptiveSweep(
+            args.app, args.setup, scale=args.scale, jobs=args.jobs,
+            crash_budget_factor=args.crash_budget_factor,
+            adaptive=AdaptiveConfig(**overrides),
+        )
+        sweep = driver.run()
+    else:
+        rates = tuple(args.rates) if args.rates else DEFAULT_RATES
+        sweep = capacity_sweep(args.app, args.setup, rates=rates,
+                               scale=args.scale, jobs=args.jobs,
+                               crash_budget_factor=args.crash_budget_factor)
+    knee = find_knee(sweep, args.knee_threshold)
+    model_knee = driver.knee_estimate() if driver is not None else None
+
+    if args.json:
+        payload = {
+            "app": sweep.app,
+            "setup": sweep.setup,
+            "adaptive": bool(args.adaptive),
+            "rounds": sweep.rounds,
+            "converged": sweep.converged,
+            "simulations": sweep.simulations(),
+            "new_simulations": (
+                driver.new_simulations if driver is not None else None
+            ),
+            "cached": driver.cached if driver is not None else None,
+            "knee_threshold": args.knee_threshold,
+            "knee": knee,
+            "model_knee": model_knee,
+            "crash_rate": crash_rate(sweep),
+            "points": [
+                {
+                    "rate": p.rate,
+                    # A crashed run's cycle ratio is meaningless: nan in the
+                    # API, null on the wire (nan is not valid JSON).
+                    "slowdown": None if math.isnan(p.slowdown) else p.slowdown,
+                    "cycles": p.cycles,
+                    "far_faults": p.far_faults,
+                    "chunks_evicted": p.chunks_evicted,
+                    "crashed": p.crashed,
+                }
+                for p in sweep.points
+            ],
+            "failures": sweep.failures,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
     rows = [
-        [f"{p.rate:.0%}", p.slowdown, p.far_faults, p.chunks_evicted,
-         "crashed" if p.crashed else ""]
+        [f"{p.rate * 100:g}%",
+         "crashed" if p.crashed else p.slowdown,
+         p.far_faults, p.chunks_evicted]
         for p in sweep.points
     ]
     print(render_table(
-        ["capacity", "slowdown", "faults", "evictions", ""],
+        ["capacity", "slowdown", "faults", "evictions"],
         rows,
         title=f"{args.app} under {args.setup}: slowdown vs capacity",
     ))
-    knee = find_knee(sweep, args.knee_threshold)
+    if driver is not None:
+        status = "converged" if sweep.converged else "budget exhausted"
+        print(f"adaptive: {status} after {sweep.rounds} round(s), "
+              f"{sweep.simulations()} simulations "
+              f"({driver.new_simulations} new, {driver.cached} cached)")
     if knee is None:
         print(f"no knee above {args.knee_threshold:.1f}x within tested rates")
     else:
         print(f"working-set knee (slowdown >= {args.knee_threshold:.1f}x) "
               f"at {knee:.0%} capacity")
+    if model_knee is not None:
+        print(f"model knee estimate: {model_knee:.1%} capacity")
     return 0
 
 

@@ -230,6 +230,25 @@ def generate(
         "directions, and tracing never changes simulation results —\n"
         "`tests/test_obs_integration.py` asserts byte-identical\n"
         "serializations.\n\n"
+        "## Adaptive sweeps\n\n"
+        "Capacity sweeps (`python -m repro sweep APP`) default to the\n"
+        "fixed 7-point rate grid of `analysis.sweep.DEFAULT_RATES`.  With\n"
+        "`--adaptive` the sweep instead runs a simulate → fit → propose\n"
+        "loop (`repro.analysis.adaptive`): a coarse seed grid, a monotone\n"
+        "PCHIP fit of slowdown vs. rate, then new rates where the model is\n"
+        "least trusted — the knee neighbourhood first — until successive\n"
+        "fits agree within `--tolerance` (default 15%) or `--budget`\n"
+        "simulations (default 12) are spent.  On the thrashing apps this\n"
+        "converges in 4–6 simulations with a *continuous* knee estimate,\n"
+        "where the fixed grid spends 7 to bracket the knee to 0.1.\n"
+        "Proposals are a pure function of prior results, so re-running a\n"
+        "converged sweep against a warm result cache performs zero new\n"
+        "simulations.  Crashed points carry `slowdown = nan` (a crashed\n"
+        "run's cycle count is not a runtime) and are excluded from the fit\n"
+        "and from knee detection; the crash boundary is reported\n"
+        "separately (`analysis.sweep.crash_rate`), and a crashed rate-1.0\n"
+        "anchor aborts the sweep with `HarnessError` — nothing can be\n"
+        "normalised against it.\n\n"
         "## Summary\n\n"
         "| artifact | measured headline |\n|---|---|\n"
         + "\n".join(f"| {n} | {h} |" for n, h in summary_rows)

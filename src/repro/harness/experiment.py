@@ -30,8 +30,10 @@ from .cache import ResultCache, config_fingerprint, get_active_cache
 
 __all__ = [
     "RunSpec",
+    "BatchStats",
     "run_one",
     "run_matrix",
+    "submit_batch",
     "clear_cache",
     "execution_count",
 ]
@@ -234,6 +236,63 @@ def _seed_memo(
     _CACHE[_memo_key(spec, config)] = result
 
 
+@dataclass(frozen=True)
+class BatchStats:
+    """Where one batch's results came from (per :func:`submit_batch`)."""
+
+    simulated: int  # executed fresh (serially or in workers)
+    memo_hits: int  # served from the in-process memo
+    cache_hits: int  # served from the persistent disk cache
+    failed: int  # specs whose simulation failed (keep_going)
+    timed_out: int  # specs reaped by the worker timeout
+
+    @property
+    def cached(self) -> int:
+        """Specs served from either cache layer."""
+        return self.memo_hits + self.cache_hits
+
+
+def submit_batch(
+    specs: Iterable[RunSpec],
+    config: Optional[SimConfig] = None,
+    use_cache: bool = True,
+    jobs: Optional[int] = None,
+    cache=_ACTIVE,
+    progress: Optional[Callable[[int, int], None]] = None,
+    obs: Optional[Observability] = None,
+    fault_tolerance=None,
+) -> Tuple[Dict[Tuple, SimulationResult], BatchStats]:
+    """Run a batch through the parallel engine; also report cache traffic.
+
+    Same contract as :func:`run_matrix` (which delegates here whenever a
+    runner is needed), but always routes through
+    :class:`~repro.harness.parallel.ParallelRunner` — even at ``jobs=1``,
+    where the runner executes serially in-process — and returns the
+    runner's per-batch :class:`BatchStats` alongside the results.  Batch
+    drivers that adapt to how much work a round actually cost (e.g. the
+    adaptive sweep loop) need the simulated/cached split; plain callers can
+    keep using :func:`run_matrix`.
+    """
+    specs = list(specs)
+    from .parallel import ParallelRunner  # deferred: avoids import cycle
+
+    runner = ParallelRunner(
+        jobs=jobs if jobs is not None else 1,
+        cache=cache,
+        progress=progress,
+        fault_tolerance=fault_tolerance,
+    )
+    results = runner.run(specs, config=config, use_cache=use_cache, obs=obs)
+    stats = BatchStats(
+        simulated=runner.simulated,
+        memo_hits=runner.memo_hits,
+        cache_hits=runner.cache_hits,
+        failed=runner.failed,
+        timed_out=runner.timed_out,
+    )
+    return {spec.key(): r for spec, r in zip(specs, results)}, stats
+
+
 def run_matrix(
     specs: Iterable[RunSpec],
     config: Optional[SimConfig] = None,
@@ -261,16 +320,17 @@ def run_matrix(
     """
     specs = list(specs)
     if fault_tolerance is not None or (jobs is not None and jobs > 1):
-        from .parallel import ParallelRunner  # deferred: avoids import cycle
-
-        runner = ParallelRunner(
-            jobs=jobs if jobs is not None else 1,
+        results, _ = submit_batch(
+            specs,
+            config=config,
+            use_cache=use_cache,
+            jobs=jobs,
             cache=cache,
             progress=progress,
+            obs=obs,
             fault_tolerance=fault_tolerance,
         )
-        results = runner.run(specs, config=config, use_cache=use_cache, obs=obs)
-        return {spec.key(): r for spec, r in zip(specs, results)}
+        return results
     out: Dict[Tuple, SimulationResult] = {}
     for i, spec in enumerate(specs):
         out[spec.key()] = run_one(

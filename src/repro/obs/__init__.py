@@ -1,6 +1,11 @@
 """Simulation observability: metrics registry, event tracer, exporters.
 
 Off by default and invisible to the result cache — see :mod:`repro.obs.core`.
+
+Harness drivers report into the same registry as simulations: the adaptive
+sweep loop (:mod:`repro.analysis.adaptive`) counts ``sweep/rounds``,
+``sweep/proposed_points``, ``sweep/cached_points`` and
+``sweep/simulated_points`` when handed an enabled instance.
 """
 
 from .core import DISABLED, Observability, ObsConfig, make_observability

@@ -123,8 +123,26 @@ class TraceProfile:
 
 
 def profile_trace(workload: Workload) -> TraceProfile:
-    """Compute a :class:`TraceProfile` (vectorised; fine for 1M accesses)."""
+    """Compute a :class:`TraceProfile` (vectorised; fine for 1M accesses).
+
+    A zero-access trace (e.g. one filtered/truncated to nothing after
+    construction) profiles to all-zero statistics instead of crashing on
+    ``min()`` / ``mean()`` of empty arrays.
+    """
     acc = workload.accesses
+    if acc.size == 0:
+        return TraceProfile(
+            name=workload.name,
+            num_accesses=0,
+            footprint_pages=workload.footprint_pages,
+            unique_pages=0,
+            touches_per_page_mean=0.0,
+            reuse_fraction=0.0,
+            dominant_stride=0,
+            dominant_stride_fraction=0.0,
+            chunk_coverage_mean=0.0,
+            quarter_working_sets=(),
+        )
     unique, counts = np.unique(acc, return_counts=True)
 
     # Reuse: accesses beyond each page's first occurrence.

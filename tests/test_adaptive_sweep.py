@@ -1,0 +1,402 @@
+"""Adaptive convergence-driven sweeps (repro.analysis.adaptive)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.adaptive import (
+    AdaptiveConfig,
+    AdaptiveSweep,
+    adaptive_sweep,
+    fit_monotone_model,
+    models_agree,
+    propose_rates,
+)
+from repro.analysis.sweep import capacity_sweep, crash_rate, find_knee
+from repro.engine.simulator import SimulationResult
+from repro.engine.stats import SimStats
+from repro.errors import HarnessError, ReproError
+from repro.harness import cache as cache_mod
+from repro.harness.experiment import BatchStats, clear_cache
+from repro.harness.faults import ENV_FAULT_PLAN, FaultTolerance
+
+
+# ---------------------------------------------------------------------------
+# The response-surface model.
+# ---------------------------------------------------------------------------
+
+
+class TestMonotoneModel:
+    def test_interpolates_knots_exactly(self):
+        rates = (0.4, 0.6, 0.8, 1.0)
+        slow = (6.0, 2.5, 1.4, 1.0)
+        model = fit_monotone_model(rates, slow)
+        for r, s in zip(rates, slow):
+            assert model(r) == pytest.approx(s)
+
+    def test_monotone_data_never_overshoots(self):
+        # Slowdown decreasing in rate; PCHIP must stay decreasing between
+        # knots (a plain cubic spline would ring around the cliff).
+        rates = (0.4, 0.5, 0.6, 0.75, 0.9, 1.0)
+        slow = (20.0, 8.0, 3.0, 1.6, 1.1, 1.0)
+        model = fit_monotone_model(rates, slow)
+        grid = np.linspace(0.4, 1.0, 601)
+        vals = model.predict(grid)
+        assert np.all(np.diff(vals) <= 1e-9)
+        assert vals.min() >= 1.0 - 1e-9 and vals.max() <= 20.0 + 1e-9
+
+    def test_two_points_is_linear(self):
+        model = fit_monotone_model((0.5, 1.0), (3.0, 1.0))
+        assert model(0.75) == pytest.approx(2.0)
+
+    def test_clamps_outside_span(self):
+        model = fit_monotone_model((0.5, 1.0), (3.0, 1.0))
+        assert model(0.1) == pytest.approx(3.0)
+        assert model(1.2) == pytest.approx(1.0)
+
+    def test_knee_brackets_threshold(self):
+        model = fit_monotone_model((0.4, 0.7, 1.0), (8.0, 2.0, 1.0))
+        knee = model.knee(1.5)
+        assert knee is not None and 0.7 < knee < 1.0
+        assert model(knee) == pytest.approx(1.5, abs=1e-6)
+
+    def test_knee_none_when_curve_below_threshold(self):
+        model = fit_monotone_model((0.4, 1.0), (1.2, 1.0))
+        assert model.knee(1.5) is None
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ReproError):
+            fit_monotone_model((1.0,), (1.0,))
+
+    def test_duplicate_rates_rejected(self):
+        with pytest.raises(ReproError):
+            fit_monotone_model((1.0, 1.0), (1.0, 2.0))
+
+    def test_models_agree_tolerance(self):
+        a = fit_monotone_model((0.4, 1.0), (5.0, 1.0))
+        b = fit_monotone_model((0.4, 1.0), (5.2, 1.0))
+        assert models_agree(a, b, tolerance=0.1)
+        assert not models_agree(a, b, tolerance=0.001)
+
+
+# ---------------------------------------------------------------------------
+# Proposals: pure, deterministic function of prior results.
+# ---------------------------------------------------------------------------
+
+
+class TestProposeRates:
+    def test_crossing_interval_wins(self):
+        # Threshold 1.5 is crossed between 0.7 and 1.0: that interval must
+        # be sampled before the (wider, equally curved) tail.
+        valid = [(0.4, 8.0), (0.7, 2.0), (1.0, 1.0)]
+        got = propose_rates(valid, [r for r, _ in valid], 1, threshold=1.5)
+        assert got == [0.85]
+
+    def test_respects_min_gap(self):
+        valid = [(0.96, 2.0), (1.0, 1.0)]
+        assert propose_rates(valid, [0.96, 1.0], 1, min_gap=0.05) == []
+
+    def test_deterministic(self):
+        valid = [(0.4, 9.0), (0.6, 3.0), (0.8, 1.6), (1.0, 1.0)]
+        sampled = [r for r, _ in valid]
+        first = propose_rates(valid, sampled, 2)
+        assert first == propose_rates(list(reversed(valid)), sampled, 2)
+
+    def test_skips_already_sampled(self):
+        valid = [(0.4, 8.0), (0.7, 2.0), (1.0, 1.0)]
+        got = propose_rates(valid, [0.4, 0.7, 0.85, 1.0], 1, threshold=1.5)
+        assert 0.85 not in got
+
+    def test_degenerate_bisects_toward_broken_region(self):
+        # Only the anchor survived; 0.6 crashed.  Bisect the gap.
+        assert propose_rates([(1.0, 1.0)], [0.6, 1.0], 1) == [0.8]
+
+    def test_degenerate_nothing_below(self):
+        assert propose_rates([(1.0, 1.0)], [1.0], 1) == []
+        assert propose_rates([], [1.0], 1) == []
+
+    def test_count_zero(self):
+        assert propose_rates([(0.4, 8.0), (1.0, 1.0)], [0.4, 1.0], 0) == []
+
+
+# ---------------------------------------------------------------------------
+# The driver, over synthetic closed-form curves (no simulator involved).
+# ---------------------------------------------------------------------------
+
+ANCHOR_CYCLES = 1_000_000
+
+
+def synthetic_result(rate, slowdown, crashed=False) -> SimulationResult:
+    stats = SimStats()
+    stats.total_cycles = int(round(ANCHOR_CYCLES * slowdown))
+    stats.far_faults = int(100 * slowdown)
+    stats.chunks_evicted = int(10 * slowdown)
+    return SimulationResult(
+        workload="synthetic",
+        pattern_type="IV",
+        policy="lru",
+        prefetcher="locality",
+        oversubscription=None if rate >= 1.0 else rate,
+        capacity_pages=1024,
+        footprint_pages=1024,
+        stats=stats,
+        crashed=crashed,
+        crash_reason="synthetic thrash" if crashed else "",
+    )
+
+
+def make_submit(curve, crash_below=None, calls=None):
+    """A fake ``submit_batch``: resolves specs from a closed-form curve."""
+
+    def submit(specs, **kwargs):
+        if calls is not None:
+            calls.append(tuple(
+                1.0 if s.oversubscription is None else s.oversubscription
+                for s in specs
+            ))
+        results = {}
+        for spec in specs:
+            rate = 1.0 if spec.oversubscription is None else spec.oversubscription
+            crashed = crash_below is not None and rate < crash_below
+            results[spec.key()] = synthetic_result(rate, curve(rate), crashed)
+        return results, BatchStats(
+            simulated=len(specs), memo_hits=0, cache_hits=0,
+            failed=0, timed_out=0,
+        )
+
+    return submit
+
+
+def quadratic_curve(rate):
+    return 1.0 + 9.0 * (1.0 - rate) ** 2
+
+
+class TestAdaptiveSweepSynthetic:
+    def test_converges_on_smooth_curve(self):
+        driver = AdaptiveSweep(
+            "synthetic", submit=make_submit(quadratic_curve),
+            adaptive=AdaptiveConfig(budget=12, tolerance=0.1),
+        )
+        sweep = driver.run()
+        assert sweep.converged is True
+        assert sweep.rounds >= 2
+        assert sweep.simulations() <= 12
+        # Points arrive sorted by descending rate, anchored at 1.0.
+        rates = [p.rate for p in sweep.points]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[0] == 1.0 and sweep.slowdown_at(1.0) == 1.0
+        # The fitted model reproduces the generating curve to tolerance.
+        for rate in (0.45, 0.6, 0.85, 0.95):
+            assert driver.model(rate) == pytest.approx(
+                quadratic_curve(rate), rel=0.15
+            )
+
+    def test_budget_exhaustion_reports_not_converged(self):
+        driver = AdaptiveSweep(
+            "synthetic", submit=make_submit(quadratic_curve),
+            adaptive=AdaptiveConfig(budget=5, tolerance=0.0),
+        )
+        sweep = driver.run()
+        assert sweep.converged is False
+        assert sweep.simulations() == 5
+
+    def test_budget_truncates_seed_but_keeps_anchor(self):
+        driver = AdaptiveSweep(
+            "synthetic", submit=make_submit(quadratic_curve),
+            adaptive=AdaptiveConfig(budget=2, tolerance=0.0),
+        )
+        sweep = driver.run()
+        assert sweep.simulations() == 2
+        assert sweep.points[0].rate == 1.0
+
+    def test_proposals_are_pure_function_of_results(self):
+        calls_a, calls_b = [], []
+        for calls in (calls_a, calls_b):
+            AdaptiveSweep(
+                "synthetic",
+                submit=make_submit(quadratic_curve, calls=calls),
+                adaptive=AdaptiveConfig(budget=10, tolerance=0.05),
+            ).run()
+        assert calls_a == calls_b
+
+    def test_knee_neighbourhood_gets_sampled(self):
+        # threshold 1.5 crossing of the quadratic sits at rate ~0.764.
+        driver = AdaptiveSweep(
+            "synthetic", submit=make_submit(quadratic_curve),
+            adaptive=AdaptiveConfig(budget=10, tolerance=0.05),
+        )
+        sweep = driver.run()
+        knee = driver.knee_estimate()
+        assert knee == pytest.approx(1.0 - math.sqrt(0.5 / 9.0), abs=0.05)
+        sampled = [p.rate for p in sweep.points]
+        assert any(abs(r - knee) < 0.15 for r in sampled)
+
+    def test_crash_region_excluded_from_model(self):
+        driver = AdaptiveSweep(
+            "synthetic",
+            submit=make_submit(quadratic_curve, crash_below=0.55),
+            adaptive=AdaptiveConfig(budget=10, tolerance=0.1),
+        )
+        sweep = driver.run()
+        crashed = [p for p in sweep.points if p.crashed]
+        assert crashed and all(math.isnan(p.slowdown) for p in crashed)
+        assert crash_rate(sweep) == max(p.rate for p in crashed)
+        assert min(driver.model.rates) >= 0.55
+        # find_knee never reports a crashed point.
+        knee = find_knee(sweep, threshold=1.5)
+        assert knee is not None
+        assert not [p for p in sweep.points if p.rate == knee][0].crashed
+
+    def test_crashed_anchor_raises(self):
+        driver = AdaptiveSweep(
+            "synthetic",
+            submit=make_submit(quadratic_curve, crash_below=2.0),
+        )
+        with pytest.raises(HarnessError, match="anchor run crashed"):
+            driver.run()
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            AdaptiveConfig(budget=1)
+        with pytest.raises(ReproError):
+            AdaptiveConfig(round_size=0)
+        with pytest.raises(ReproError):
+            AdaptiveConfig(seed_rates=())
+        with pytest.raises(ReproError):
+            AdaptiveConfig(seed_rates=(1.5,))
+        with pytest.raises(ReproError):
+            AdaptiveConfig(tolerance=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through the real engine (small scale).
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveSweepEngine:
+    def test_beats_fixed_grid_on_thrashing_app(self):
+        # The acceptance bar: >= 30% fewer simulations than DEFAULT_RATES
+        # for an equal-or-better knee estimate.
+        fixed = capacity_sweep("SRD", "baseline", scale=0.25)
+        fixed_knee = find_knee(fixed)
+        clear_cache()
+        driver = AdaptiveSweep("SRD", "baseline", scale=0.25)
+        sweep = driver.run()
+        assert sweep.converged is True
+        assert sweep.simulations() <= 0.7 * fixed.simulations()
+        # The model knee is continuous; the fixed grid only brackets the
+        # crossing between its 0.9 sample (below threshold) and its 0.8
+        # sample (above) — equal-or-better means inside that bracket, at
+        # or above the grid's answer.
+        model_knee = driver.knee_estimate()
+        assert model_knee is not None and fixed_knee is not None
+        assert model_knee >= fixed_knee
+        upper = min((p.rate for p in fixed.points
+                     if p.slowdown < 1.5 and p.rate > fixed_knee), default=1.0)
+        assert model_knee <= upper
+
+    def test_warm_cache_resume_runs_zero_simulations(self):
+        first = AdaptiveSweep("STN", "baseline", scale=0.25)
+        result_a = first.run()
+        assert first.new_simulations > 0
+        second = AdaptiveSweep("STN", "baseline", scale=0.25)
+        result_b = second.run()
+        assert second.new_simulations == 0
+        assert second.cached == result_b.simulations()
+        assert result_a == result_b
+
+    def test_warm_disk_cache_survives_fresh_memo(self):
+        AdaptiveSweep("STN", "baseline", scale=0.25).run()
+        clear_cache(disk=False)  # drop the memo, keep the disk cache
+        resumed = AdaptiveSweep("STN", "baseline", scale=0.25)
+        result = resumed.run()
+        assert resumed.new_simulations == 0
+        assert result.converged is True
+
+    def test_serial_and_parallel_propose_identically(self, tmp_path):
+        runs = {}
+        for jobs, cache_dir in ((1, "serial"), (2, "parallel")):
+            previous = cache_mod.set_active_cache(
+                cache_mod.ResultCache(tmp_path / cache_dir)
+            )
+            clear_cache(disk=False)
+            try:
+                driver = AdaptiveSweep("STN", "baseline", scale=0.25, jobs=jobs)
+                runs[jobs] = (driver.run(), driver.history)
+            finally:
+                cache_mod.set_active_cache(previous)
+        sweep_serial, history_serial = runs[1]
+        sweep_parallel, history_parallel = runs[2]
+        assert history_serial == history_parallel
+        assert sweep_serial == sweep_parallel
+
+    def test_adaptive_sweep_helper(self):
+        sweep = adaptive_sweep(
+            "STN", "baseline", scale=0.25,
+            adaptive=AdaptiveConfig(budget=4, tolerance=0.5),
+        )
+        assert sweep.simulations() <= 4
+        assert sweep.rounds >= 1
+
+    def test_fault_plan_anchor_loss_raises(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_FAULT_PLAN,
+            json.dumps([{"match": "STN@unl", "action": "raise",
+                         "message": "injected anchor loss"}]),
+        )
+        driver = AdaptiveSweep(
+            "STN", "baseline", scale=0.25,
+            fault_tolerance=FaultTolerance(keep_going=True),
+        )
+        with pytest.raises(HarnessError, match="anchor"):
+            driver.run()
+
+    def test_fault_plan_non_anchor_failure_keeps_going(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_FAULT_PLAN,
+            json.dumps([{"match": "STN@70%", "action": "raise",
+                         "message": "injected point loss"}]),
+        )
+        driver = AdaptiveSweep(
+            "STN", "baseline", scale=0.25,
+            fault_tolerance=FaultTolerance(keep_going=True),
+        )
+        sweep = driver.run()
+        assert 0.7 in sweep.failures
+        assert all(p.rate != 0.7 for p in sweep.points)
+        assert len(sweep.points) >= 2
+
+
+# ---------------------------------------------------------------------------
+# Observability counters.
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveObs:
+    def test_counters(self):
+        from repro.obs import Observability
+
+        obs = Observability.enabled_()
+        driver = AdaptiveSweep(
+            "synthetic", submit=make_submit(quadratic_curve),
+            adaptive=AdaptiveConfig(budget=8, tolerance=0.1), obs=obs,
+        )
+        sweep = driver.run()
+        metrics = obs.metrics
+        assert metrics.value("sweep/rounds") == sweep.rounds
+        assert metrics.value("sweep/simulated_points") == sweep.simulations()
+        assert metrics.value("sweep/cached_points") == 0
+        # Every non-seed point was proposed by the adapter.
+        assert metrics.value("sweep/proposed_points") >= (
+            sweep.simulations() - 3
+        )
+
+    def test_disabled_obs_is_default_and_free(self):
+        driver = AdaptiveSweep(
+            "synthetic", submit=make_submit(quadratic_curve),
+            adaptive=AdaptiveConfig(budget=4, tolerance=0.5),
+        )
+        sweep = driver.run()  # must not blow up without an obs layer
+        assert sweep.simulations() <= 4

@@ -1,9 +1,19 @@
 """Capacity sweep analysis (repro.analysis.sweep)."""
 
+import math
+
 import pytest
 
-from repro.analysis.sweep import capacity_sweep, find_knee
-from repro.errors import ReproError
+from repro.analysis.sweep import (
+    capacity_sweep,
+    crash_rate,
+    find_knee,
+    normalise_sweep,
+    sweep_specs,
+)
+from repro.engine.simulator import SimulationResult
+from repro.engine.stats import SimStats
+from repro.errors import HarnessError, ReproError
 
 
 class TestCapacitySweep:
@@ -55,3 +65,79 @@ class TestKnee:
         cppe = capacity_sweep("STN", "cppe", rates=(1.0, 0.75, 0.5), scale=0.5)
         for rate in (0.75, 0.5):
             assert cppe.slowdown_at(rate) <= base.slowdown_at(rate) * 1.1
+
+
+def _result(cycles: int, crashed: bool = False) -> SimulationResult:
+    stats = SimStats()
+    stats.total_cycles = cycles
+    return SimulationResult(
+        workload="unit",
+        pattern_type="IV",
+        policy="lru",
+        prefetcher="locality",
+        oversubscription=None,
+        capacity_pages=256,
+        footprint_pages=256,
+        stats=stats,
+        crashed=crashed,
+        crash_reason="thrashing crash budget exceeded" if crashed else "",
+    )
+
+
+class TestCrashedRuns:
+    """Regressions: crashed runs have no runtime, and must never be
+    normalised against or register as knee crossings."""
+
+    def _normalised(self, outcomes):
+        """Normalise synthetic ``{rate: (cycles, crashed)}`` outcomes."""
+        rates, specs = sweep_specs("APP", "baseline", outcomes)
+        results = {
+            spec.key(): _result(*outcomes[rate])
+            for rate, spec in zip(rates, specs)
+        }
+        return normalise_sweep("APP", "baseline", rates, specs, results)
+
+    def test_crashed_anchor_raises(self):
+        with pytest.raises(HarnessError, match="anchor run crashed"):
+            self._normalised({1.0: (1000, True), 0.5: (5000, False)})
+
+    def test_non_anchor_crash_is_nan_not_ratio(self):
+        sweep = self._normalised({1.0: (1000, False), 0.5: (9000, True)})
+        point = sweep.points[-1]
+        assert point.crashed
+        assert math.isnan(point.slowdown)
+        # The raw cycle count stays inspectable; the series carries the nan.
+        assert point.cycles == 9000
+        assert math.isnan(sweep.as_series()["50%"])
+
+    def test_find_knee_skips_crashed_points(self):
+        # The 0.5 crash "exceeds" any threshold numerically, but its cycle
+        # count is garbage; the only honest crossing is at 0.4.
+        sweep = self._normalised({
+            1.0: (1000, False),
+            0.5: (90000, True),
+            0.4: (2000, False),
+        })
+        assert find_knee(sweep, threshold=1.5) == 0.4
+
+    def test_all_crossings_crashed_means_no_knee(self):
+        sweep = self._normalised({1.0: (1000, False), 0.5: (90000, True)})
+        assert find_knee(sweep, threshold=1.5) is None
+        assert crash_rate(sweep) == 0.5
+
+    def test_crash_rate_none_without_crashes(self):
+        sweep = self._normalised({1.0: (1000, False), 0.5: (2000, False)})
+        assert crash_rate(sweep) is None
+
+    def test_genuine_crash_through_engine(self):
+        # MVT under a tight eviction budget crashes below full capacity but
+        # completes unconstrained, so the anchor is fine and the crashed
+        # point flows through as nan.
+        sweep = capacity_sweep(
+            "MVT", "baseline", rates=(1.0, 0.5), scale=0.25,
+            crash_budget_factor=0.1,
+        )
+        assert sweep.slowdown_at(1.0) == 1.0
+        assert crash_rate(sweep) == 0.5
+        assert math.isnan(sweep.slowdown_at(0.5))
+        assert find_knee(sweep, threshold=1.5) is None

@@ -98,3 +98,40 @@ class TestProfile:
         s = p.summary()
         for key in ("accesses", "footprint", "reuse", "stride", "chunk_coverage"):
             assert key in s
+
+
+class TestDegenerateTraces:
+    """Regression: profiling must not crash on empty or near-empty traces
+    (e.g. an externally produced ``.npz`` or an aggressive downsample)."""
+
+    def test_empty_trace_profiles_to_zeros(self):
+        wl = make_simple_workload(footprint=256)
+        wl.accesses = np.zeros(0, dtype=np.int64)  # post-init: bypass guard
+        p = profile_trace(wl)
+        assert p.num_accesses == 0
+        assert p.unique_pages == 0
+        assert p.footprint_pages == 256
+        assert p.touches_per_page_mean == 0.0
+        assert p.reuse_fraction == 0.0
+        assert p.dominant_stride == 0
+        assert p.dominant_stride_fraction == 0.0
+        assert p.chunk_coverage_mean == 0.0
+        assert p.quarter_working_sets == ()
+        p.summary()  # renders without dividing by zero
+
+    def test_single_access_profile(self):
+        wl = make_simple_workload(footprint=64, accesses=[7])
+        p = profile_trace(wl)
+        assert p.num_accesses == 1
+        assert p.unique_pages == 1
+        assert p.reuse_fraction == 0.0
+        assert p.dominant_stride == 0
+
+    def test_downsample_to_minimum_then_profile(self):
+        # Downsampling a trace to a single access must stay profileable.
+        wl = make_simple_workload(footprint=256)
+        thin = downsample(wl, wl.accesses.size)
+        assert thin.accesses.size == 1
+        p = profile_trace(thin)
+        assert p.num_accesses == 1
+        assert p.dominant_stride_fraction == 0.0
