@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Policy shootout: every eviction policy x prefetcher pairing on one app.
 
-Runs all named setups of the harness (LRU, Random, reserved LRU, HPE, MHPE;
-no-prefetch, locality, stop-on-full, tree, pattern-aware) on a single
-application and ranks them — the expanded version of the paper's Figs. 3
-and 9 for one workload.
+Thin wrapper over :func:`repro.harness.shootout.run_shootout` — the combos
+are enumerated from the component registries (``repro components list``),
+run as one batch through the experiment engine (memo + disk cache), and
+ranked by speedup over the baseline setup.  The same artifact is available
+as ``python -m repro shootout [APP] [--rate R]``, which adds ``--jobs``,
+``--json`` and cache controls.
 
 Run:  python examples/policy_shootout.py [APP] [RATE]
       python examples/policy_shootout.py MVT 0.5
@@ -12,40 +14,16 @@ Run:  python examples/policy_shootout.py [APP] [RATE]
 
 import sys
 
-from repro.harness.baselines import SETUPS
-from repro.harness.experiment import RunSpec, run_one
-from repro.harness.report import render_table
+from repro.harness.shootout import run_shootout
 
 
 def main() -> None:
     app = sys.argv[1] if len(sys.argv) > 1 else "SRD"
     rate = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
-
-    baseline = run_one(RunSpec(app, "baseline", rate))
-    rows = []
-    for setup in sorted(SETUPS):
-        result = run_one(RunSpec(app, setup, rate))
-        rows.append(
-            [
-                setup,
-                result.policy,
-                result.prefetcher,
-                result.speedup_over(baseline),
-                result.stats.far_faults,
-                result.stats.chunks_evicted,
-                f"{result.stats.prefetch_accuracy:.0%}",
-            ]
-        )
-    rows.sort(key=lambda r: -r[3])
-    print(
-        render_table(
-            ["setup", "policy", "prefetcher", "speedup", "faults",
-             "evictions", "prefetch acc"],
-            rows,
-            title=f"{app} at {rate:.0%} oversubscription "
-                  f"(speedup vs baseline = LRU + naive locality prefetch)",
-        )
-    )
+    result = run_shootout(app, rate=rate)
+    print(result.render())
+    print(f"{result.combos} combos: {result.new_simulations} new "
+          f"simulations, {result.cached} cached", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,15 @@ Commands
 ``cache``
     Inspect (``cache stats``) or clear (``cache clear``) the persistent
     result cache.
+``components``
+    Inspect the component registries (``components list``,
+    ``components describe KIND NAME``): every registered policy,
+    prefetcher, setup and workload, including plugin components pulled in
+    via ``REPRO_PLUGINS`` / the ``repro.plugins`` entry-point group.
+``shootout``
+    Every registered eviction policy crossed with every registered
+    prefetcher on one application, run as a single cached batch and
+    ranked by speedup over the baseline setup.
 ``lint``
     Static determinism / cache-integrity / parallel-safety analysis
     (see LINTING.md).  Exit code 0 = clean, 1 = findings, 2 = usage error.
@@ -43,10 +52,13 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from . import registry as registry_mod
+from .errors import ConfigError
 from .harness import cache as cache_mod
 from .harness import figures as figures_mod
+from .harness import shootout as shootout_mod
 from .harness import tables as tables_mod
-from .harness.baselines import SETUPS
+from .harness import baselines as _baselines  # noqa: F401  (registers components)
 from .harness.experiment import RunSpec, run_one
 from .harness.report import render_table
 from .workloads.suite import BENCHMARKS
@@ -68,7 +80,26 @@ _TABLES = {
     "overhead": tables_mod.overhead,
     "sensitivity-fd": tables_mod.sensitivity_fd,
     "sensitivity-t3": tables_mod.sensitivity_t3,
+    "shootout": shootout_mod.shootout_table,
 }
+
+
+def _setup_arg(value: str) -> str:
+    """``argparse`` validator for ``--setup``-style options: any registered
+    setup name, or any ``policy+prefetcher`` pair of registered components
+    (so plugin components are accepted without touching this module)."""
+    try:
+        registry_mod.setup_components(value)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _setup_help(intro: str) -> str:
+    """Help text for setup options, derived from the live registry."""
+    return (f"{intro}: one of {', '.join(registry_mod.names('setup'))}; "
+            "or any 'policy+prefetcher' combo of registered components "
+            "(see 'repro components list')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,8 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one simulation")
     run_p.add_argument("app", help="benchmark abbreviation, e.g. SRD")
     run_p.add_argument(
-        "--setup", default="cppe", choices=sorted(SETUPS),
-        help="named policy+prefetcher pair (default: cppe)",
+        "--setup", default="cppe", type=_setup_arg, metavar="SETUP",
+        help=_setup_help("policy+prefetcher pair (default: cppe)"),
     )
     run_p.add_argument(
         "--rate", type=float, default=0.5,
@@ -106,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true",
                        help="emit the stats summary as JSON")
     run_p.add_argument(
-        "--baseline", default=None, choices=sorted(SETUPS),
+        "--baseline", default=None, type=_setup_arg, metavar="SETUP",
         help="also run this setup and report the speedup over it",
     )
 
@@ -122,7 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite_p = sub.add_parser("suite", help="baseline vs CPPE over the suite")
     suite_p.add_argument("--rate", type=float, default=0.5)
-    suite_p.add_argument("--setup", default="cppe", choices=sorted(SETUPS))
+    suite_p.add_argument("--setup", default="cppe", type=_setup_arg,
+                         metavar="SETUP",
+                         help=_setup_help("candidate setup (default: cppe)"))
     suite_p.add_argument("--scale", type=float, default=1.0)
 
     trace_p = sub.add_parser(
@@ -142,7 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="all", choices=("jsonl", "chrome", "intervals", "all"),
         help="which trace artifacts to write under --trace-dir (default: all)",
     )
-    trace_p.add_argument("--setup", default="cppe", choices=sorted(SETUPS),
+    trace_p.add_argument("--setup", default="cppe", type=_setup_arg,
+                         metavar="SETUP",
                          help="policy+prefetcher pair for the traced run")
     trace_p.add_argument("--rate", type=float, default=0.5,
                          help="oversubscription rate for the traced run")
@@ -150,7 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser("sweep", help="capacity sweep for one app")
     sweep_p.add_argument("app")
-    sweep_p.add_argument("--setup", default="baseline", choices=sorted(SETUPS))
+    sweep_p.add_argument("--setup", default="baseline", type=_setup_arg,
+                         metavar="SETUP",
+                         help=_setup_help("swept setup (default: baseline)"))
     sweep_p.add_argument("--rates", nargs="*", type=float, default=None,
                          help="fixed rate grid (ignored with --adaptive)")
     sweep_p.add_argument("--scale", type=float, default=1.0)
@@ -276,6 +312,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="write this run to the baseline file after a passing ratchet",
     )
+
+    shoot_p = sub.add_parser(
+        "shootout",
+        help="every registered policy x prefetcher combo on one app, ranked",
+    )
+    shoot_p.add_argument("app", nargs="?", default="SRD",
+                         help="benchmark abbreviation (default: SRD)")
+    shoot_p.add_argument("--rate", type=float, default=0.5,
+                         help="oversubscription rate (default: 0.5)")
+    shoot_p.add_argument("--scale", type=float, default=1.0,
+                         help="footprint scale factor")
+    shoot_p.add_argument("--seed", type=int, default=None)
+    shoot_p.add_argument("--jobs", "-j", type=int, default=None,
+                         help="parallel workers (default: serial)")
+    shoot_p.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: cap the footprint scale at 0.25",
+    )
+    shoot_p.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-cppe)",
+    )
+    shoot_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent result cache")
+    shoot_p.add_argument(
+        "--keep-going", action="store_true",
+        help="tolerate individual combo failures (they are listed in the "
+             "table notes instead of aborting the batch)",
+    )
+    shoot_p.add_argument("--json", action="store_true",
+                         help="emit the ranked table and cache traffic as "
+                              "JSON (includes new_simulations/cached)")
+
+    comp_p = sub.add_parser(
+        "components",
+        help="inspect the component registries (policies, prefetchers, "
+             "setups, workloads)",
+    )
+    comp_sub = comp_p.add_subparsers(dest="components_command", required=True)
+    comp_list = comp_sub.add_parser("list", help="list registered components")
+    comp_list.add_argument("--kind", choices=registry_mod.KINDS, default=None,
+                           help="restrict to one registry kind")
+    comp_list.add_argument("--json", action="store_true")
+    comp_desc = comp_sub.add_parser(
+        "describe", help="one component's builder, parameters and "
+                         "fingerprint fields")
+    comp_desc.add_argument("kind", choices=registry_mod.KINDS)
+    comp_desc.add_argument("name")
+    comp_desc.add_argument("--json", action="store_true")
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
@@ -696,6 +782,92 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_shootout(args: argparse.Namespace) -> int:
+    from .harness.faults import FaultTolerance
+    from .harness.parallel import stderr_progress
+
+    if not 0.0 < args.rate <= 1.0:
+        print(f"repro shootout: --rate must be in (0, 1], got {args.rate}",
+              file=sys.stderr)
+        return 2
+    _select_cache(args.cache_dir, args.no_cache)
+    scale = min(args.scale, 0.25) if args.quick else args.scale
+    fault_tolerance = (FaultTolerance(keep_going=True)
+                       if args.keep_going else None)
+    result = shootout_mod.run_shootout(
+        args.app,
+        rate=args.rate,
+        scale=scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        progress=None if args.json else stderr_progress("combos"),
+        fault_tolerance=fault_tolerance,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+        print(f"{result.combos} combos: {result.new_simulations} new "
+              f"simulations, {result.cached} cached", file=sys.stderr)
+    return 1 if result.failed else 0
+
+
+def _registration_dict(reg: registry_mod.Registration) -> dict:
+    payload = {
+        "kind": reg.kind,
+        "name": reg.name,
+        "origin": reg.origin,
+        "plugin": reg.plugin,
+        "doc": reg.doc,
+        "params": dict(reg.params_schema),
+        "fingerprint_fields": list(reg.fingerprint_fields),
+    }
+    if reg.kind == "setup":
+        policy, prefetcher = registry_mod.setup_components(reg.name)
+        payload["policy"] = policy
+        payload["prefetcher"] = prefetcher
+    return payload
+
+
+def _cmd_components(args: argparse.Namespace) -> int:
+    kinds = (args.kind,) if getattr(args, "kind", None) else registry_mod.KINDS
+    if args.components_command == "list":
+        if args.json:
+            payload = {
+                kind: [_registration_dict(reg)
+                       for reg in registry_mod.items(kind)]
+                for kind in kinds
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        rows = []
+        for kind in kinds:
+            for reg in registry_mod.items(kind):
+                rows.append([kind, reg.name,
+                             "plugin" if reg.plugin else "built-in",
+                             reg.origin, reg.doc])
+        print(render_table(
+            ["kind", "name", "source", "origin", "description"], rows,
+            title="registered components (repro.registry)",
+        ))
+        return 0
+    try:
+        reg = registry_mod.get(args.kind, args.name)
+    except ConfigError as exc:
+        print(f"repro components: {exc}", file=sys.stderr)
+        return 2
+    payload = _registration_dict(reg)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [[k, v] for k, v in sorted(payload.items()) if k != "params"]
+    for param, doc in sorted(payload["params"].items()):
+        rows.append([f"param: {param}", doc])
+    print(render_table(["property", "value"], rows,
+                       title=f"{args.kind} {args.name!r}"))
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     _select_cache(args.cache_dir)
     active = cache_mod.get_active_cache()
@@ -739,6 +911,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "shootout":
+        return _cmd_shootout(args)
+    if args.command == "components":
+        return _cmd_components(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -94,6 +94,7 @@ SHARED_MODULES: FrozenSet[str] = frozenset(
         "repro",
         "repro.config",
         "repro.errors",
+        "repro.registry",
         "repro.units",
     }
 )
@@ -114,6 +115,7 @@ PARALLEL_SCOPE: FrozenSet[str] = SIMULATION_PACKAGES | frozenset(
         "repro.harness.baselines",
         "repro.config",
         "repro.errors",
+        "repro.registry",
         "repro.units",
     }
 )

@@ -60,6 +60,7 @@ __all__ = [
     "SUMMARY_VERSION",
     "ATTR_CALL_PREFIX",
     "TABLE_PREFIX",
+    "REGISTRY_PREFIX",
     "ConfigRead",
     "SiteList",
     "FunctionSummary",
@@ -74,7 +75,7 @@ __all__ = [
 
 #: Bumped whenever the summary shape changes; cache entries written by a
 #: different version are ignored (recomputed), never migrated.
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 #: Call-target marker for an unresolved method invocation (``x.foo()`` with
 #: unknown receiver type): resolved at link time via the method-name index.
@@ -83,6 +84,28 @@ ATTR_CALL_PREFIX = "attr:"
 #: Call-target marker for a subscripted call through a module-level dispatch
 #: table (``_POLICY_BUILDERS[name]()``): fans out to the table's referents.
 TABLE_PREFIX = "table:"
+
+#: Call-target marker for a component-registry build
+#: (``repro.registry.build("policy", name)``): fans out to every builder
+#: registered for that kind anywhere in the batch (``registry:policy``), or
+#: to every registered builder of any kind when the kind argument is not a
+#: string literal (``registry:*``).  This is the seam that keeps plugin
+#: builders — registered at import time, dispatched by name at run time —
+#: inside the worker/simulation closures.
+REGISTRY_PREFIX = "registry:"
+
+#: The registry mutators whose *module-level* calls populate
+#: :attr:`ModuleSummary.registrations`, and the builder facades whose call
+#: sites emit ``registry:<kind>`` markers.
+_REGISTRY_REGISTER_FUNCS: FrozenSet[str] = frozenset(
+    {"repro.registry.register", "repro.registry.Registry.add"}
+)
+_REGISTRY_TABLE_FUNCS: FrozenSet[str] = frozenset(
+    {"repro.registry.register_table"}
+)
+_REGISTRY_BUILD_FUNCS: FrozenSet[str] = frozenset(
+    {"repro.registry.build", "repro.registry.Registry.build"}
+)
 
 # Receiver-name heuristics for untyped config/spec parameters.  Only used
 # when no annotation is available; taint rules treat heuristic-based reads
@@ -242,6 +265,11 @@ class ModuleSummary:
     tables: Dict[str, List[str]] = dataclass_field(default_factory=dict)
     elision_entries: List[ElisionEntry] = dataclass_field(default_factory=list)
     fingerprints: List[FingerprintInfo] = dataclass_field(default_factory=list)
+    #: Component-registry kind -> builder referents registered by this
+    #: module's import-time ``register(...)`` / ``register_table(...)``
+    #: calls (referents use the same grammar as ``tables`` entries, so
+    #: ``table:`` markers compose).
+    registrations: Dict[str, List[str]] = dataclass_field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -254,6 +282,7 @@ class ModuleSummary:
             "tables": self.tables,
             "elision_entries": self.elision_entries,
             "fingerprints": self.fingerprints,
+            "registrations": self.registrations,
         }
 
     @classmethod
@@ -270,6 +299,9 @@ class ModuleSummary:
             tables={k: list(v) for k, v in payload["tables"].items()},
             elision_entries=[list(e) for e in payload["elision_entries"]],
             fingerprints=[list(f) for f in payload["fingerprints"]],
+            registrations={
+                k: list(v) for k, v in payload["registrations"].items()
+            },
         )
 
 
@@ -396,6 +428,51 @@ def _table_referents(node: ast.expr, imports: _ImportTable, module: str, local_d
     return sorted(set(refs))
 
 
+def _registry_call_kind(node: ast.Call) -> str:
+    """Literal ``kind`` argument of a registry call, or ``"*"`` (unknown
+    kind — conservatively fans out to every registered builder)."""
+    kind_arg: Optional[ast.expr] = node.args[0] if node.args else None
+    for kw in node.keywords:
+        if kw.arg == "kind":
+            kind_arg = kw.value
+    if isinstance(kind_arg, ast.Constant) and isinstance(kind_arg.value, str):
+        return kind_arg.value
+    return "*"
+
+
+def _registration_referents(
+    call: ast.Call,
+    resolved: str,
+    imports: _ImportTable,
+    module: str,
+    local_defs: Set[str],
+) -> List[str]:
+    """Builder referents contributed by one import-time registration call."""
+    if resolved in _REGISTRY_TABLE_FUNCS:
+        table_arg: Optional[ast.expr] = (
+            call.args[1] if len(call.args) > 1 else None
+        )
+        for kw in call.keywords:
+            if kw.arg == "table":
+                table_arg = kw.value
+        if table_arg is None:
+            return []
+        if isinstance(table_arg, ast.Name):
+            # Module-level table name: defer to the table seam so the
+            # referent list stays in one place (summary.tables).
+            return [TABLE_PREFIX + module + "." + table_arg.id]
+        return _table_referents(table_arg, imports, module, local_defs)
+    builder_arg: Optional[ast.expr] = (
+        call.args[2] if len(call.args) > 2 else None
+    )
+    for kw in call.keywords:
+        if kw.arg == "builder":
+            builder_arg = kw.value
+    if builder_arg is None:
+        return []
+    return _table_referents(builder_arg, imports, module, local_defs)
+
+
 class _FunctionWalker:
     """Extracts one top-level function/method (nested defs included)."""
 
@@ -497,6 +574,15 @@ class _FunctionWalker:
                 self._record_nondet(resolved, node)
                 return
 
+    def _check_registry_build(self, resolved: str, node: ast.Call) -> None:
+        """Registry-dispatch seam: ``build("policy", name)`` reaches every
+        registered policy builder.  A literal kind narrows the fanout; a
+        computed kind conservatively fans out to every registered builder
+        (``registry:*``)."""
+        if resolved not in _REGISTRY_BUILD_FUNCS:
+            return
+        self._add_call(REGISTRY_PREFIX + _registry_call_kind(node))
+
     # -- walk -----------------------------------------------------------
 
     def walk(self, fn: ast.FunctionDef) -> None:
@@ -585,6 +671,7 @@ class _FunctionWalker:
             if resolved:
                 self._add_call(resolved)
                 self._check_nondet(resolved, node)
+                self._check_registry_build(resolved, node)
             return
         if isinstance(func, ast.Attribute):
             receiver = func.value
@@ -613,6 +700,7 @@ class _FunctionWalker:
                     resolved = self.imports.resolve(dotted)
                     self._add_call(resolved)
                     self._check_nondet(resolved, node)
+                    self._check_registry_build(resolved, node)
                     return
                 # Mutation of a module-level container via method call.
                 if (
@@ -906,6 +994,40 @@ def extract_module_summary(ctx: FileContext) -> ModuleSummary:
                     if refs:
                         summary.tables[stmt.target.id] = refs
 
+    # Import-time component registrations (the ``registry:`` seam):
+    # module-level ``register(...)`` / ``register_table(...)`` statements
+    # contribute their builders to the kind's fanout set, so a later
+    # ``build("policy", name)`` call site reaches every registered builder.
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Expr):
+            maybe_call: Optional[ast.expr] = stmt.value
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            maybe_call = stmt.value
+        else:
+            continue
+        if not isinstance(maybe_call, ast.Call):
+            continue
+        dotted = _dotted(maybe_call.func)
+        if dotted is None:
+            continue
+        head = dotted.split(".")[0]
+        if head in local_defs:
+            resolved = ctx.module + "." + dotted
+        else:
+            resolved = imports.resolve(dotted)
+        if (
+            resolved not in _REGISTRY_REGISTER_FUNCS
+            and resolved not in _REGISTRY_TABLE_FUNCS
+        ):
+            continue
+        refs = _registration_referents(
+            maybe_call, resolved, imports, ctx.module, local_defs
+        )
+        if refs:
+            kind = _registry_call_kind(maybe_call)
+            merged = set(summary.registrations.get(kind, [])) | set(refs)
+            summary.registrations[kind] = sorted(merged)
+
     def extract_function(
         fn: ast.FunctionDef,
         qualname: str,
@@ -1065,6 +1187,7 @@ class CallGraph:
         self.aliases: Dict[str, str] = {}
         self.tables: Dict[str, List[str]] = {}
         self.method_index: Dict[str, List[str]] = {}
+        self.registrations: Dict[str, List[str]] = {}
         for module, summary in summaries.items():
             for fn in summary.functions:
                 qual = module + "." + fn.name
@@ -1082,6 +1205,9 @@ class CallGraph:
                 self.aliases[module + "." + local] = target
             for name, refs in summary.tables.items():
                 self.tables[module + "." + name] = refs
+            for kind, refs in summary.registrations.items():
+                merged = set(self.registrations.get(kind, [])) | set(refs)
+                self.registrations[kind] = sorted(merged)
 
     # -- resolution -----------------------------------------------------
 
@@ -1134,6 +1260,18 @@ class CallGraph:
             out = []
             for ref in self.tables.get(table, []):
                 out.extend(self.resolve(ref, caller_module))
+            return out
+        if target.startswith(REGISTRY_PREFIX):
+            # Registry dispatch: fan out to every builder registered for
+            # the kind (all kinds for a computed ``registry:*`` kind).
+            kind = target[len(REGISTRY_PREFIX):]
+            kinds = (
+                sorted(self.registrations) if kind == "*" else [kind]
+            )
+            out = []
+            for k in kinds:
+                for ref in self.registrations.get(k, []):
+                    out.extend(self.resolve(ref, caller_module))
             return out
         resolved = self._dealias(target)
         if resolved in self.functions:

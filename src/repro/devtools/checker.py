@@ -50,6 +50,7 @@ from . import hotpath as _hotpath  # noqa: F401
 from . import parallel_safety as _parallel_safety  # noqa: F401
 from . import ratchet as _ratchet  # noqa: F401
 from . import reachability as _reachability  # noqa: F401
+from . import registry_rules as _registry_rules  # noqa: F401
 from . import taint as _taint  # noqa: F401
 
 __all__ = ["LintReport", "run_lint", "module_name_for", "PARSE_ERROR_RULE"]

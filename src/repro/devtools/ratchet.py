@@ -45,7 +45,10 @@ MYPY_ALLOWLIST_BASELINE: FrozenSet[str] = frozenset(
         "repro.policies.random_policy",
         "repro.policies.reserved_lru",
         "repro.prefetch",
-        "repro.prefetch.*",
+        "repro.prefetch.disabled",
+        "repro.prefetch.locality",
+        "repro.prefetch.pattern_aware",
+        "repro.prefetch.tree_neighborhood",
         "repro.memsim",
         "repro.memsim.address",
         "repro.memsim.device_memory",
@@ -85,6 +88,8 @@ STRICT_REQUIRED: FrozenSet[str] = frozenset(
         "repro.harness.faults",
         "repro.memsim.chunk_chain",
         "repro.policies.base",
+        "repro.prefetch.base",
+        "repro.registry",
     }
 )
 

@@ -1,0 +1,198 @@
+"""Component-registry discipline (``REPRO108``).
+
+The component registries (:mod:`repro.registry`) are frozen after boot:
+every policy/prefetcher/workload/setup must be registered by a
+module-level ``register(...)`` / ``register_table(...)`` statement that
+executes at import time, with literal ``kind``/``name`` arguments.  Two
+downstream systems depend on that static enumerability:
+
+* the deep-lint ``registry:`` seam (REPRO6xx reachability, REPRO501
+  taint) resolves ``build("policy", name)`` call sites by fanning out to
+  the builders collected from import-time registration statements — a
+  registration inside a function is invisible to it, silently shrinking
+  the audited closure;
+* CLI choice lists, ``repro components``, and the shootout matrix
+  enumerate the registry at argument-parse time — a component that only
+  appears after some function runs is unlistable and unvalidatable.
+
+So REPRO108 flags (a) registry mutator calls nested inside any function,
+lambda, or class body — they run after boot, if at all — and (b) call
+sites whose ``kind``/``name`` arguments are computed rather than string
+literals (for ``register_table``, the table argument must be a plain
+module-level name so the seam can resolve its values).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from .findings import Finding
+from .rules import FileContext, FileRule, register
+
+__all__ = ["RegistryBootRule"]
+
+#: Public mutator functions of :mod:`repro.registry`.
+_MUTATORS = frozenset({"register", "register_table"})
+
+
+def _canonical_mutator(dotted: str) -> Optional[str]:
+    """``register``/``register_table`` if ``dotted`` names a registry
+    mutator (``repro.registry.register``, ``registry.register_table``,
+    aliased roots included), else ``None``."""
+    mod, _, attr = dotted.rpartition(".")
+    if attr in _MUTATORS and (mod == "registry" or mod.endswith(".registry")):
+        return attr
+    return None
+
+
+def _mutator_bindings(ctx: FileContext) -> Tuple[Dict[str, str], Set[str]]:
+    """Local bindings of registry mutators in this file.
+
+    Returns ``(functions, modules)``: local names bound directly to a
+    mutator function, and local names bound to the registry *module*.
+    Scanned from the AST directly because :class:`~.rules.ImportMap`
+    skips relative imports (``from ..registry import register``), which
+    is exactly how in-tree registrations spell it.
+    """
+    functions: Dict[str, str] = {}
+    modules: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            basename = source.rsplit(".", 1)[-1]
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if basename == "registry" and alias.name in _MUTATORS:
+                    functions[local] = alias.name
+                elif alias.name == "registry":
+                    modules.add(local)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.rsplit(".", 1)[-1] == "registry" and alias.asname:
+                    modules.add(alias.asname)
+    return functions, modules
+
+
+def _mutator_call(
+    call: ast.Call,
+    ctx: FileContext,
+    functions: Dict[str, str],
+    modules: Set[str],
+) -> Optional[str]:
+    """Which registry mutator (if any) a call expression invokes."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in functions:
+            return functions[func.id]
+        resolved = ctx.imports.resolve(func.id)
+        if resolved is not None:
+            return _canonical_mutator(resolved)
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+        if isinstance(func.value, ast.Name) and func.value.id in modules:
+            return func.attr
+        parts = []
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(ctx.imports.resolve(node.id) or node.id)
+            return _canonical_mutator(".".join(reversed(parts)))
+    return None
+
+
+def _call_arg(
+    call: ast.Call, position: int, keyword: str
+) -> Optional[ast.expr]:
+    found: Optional[ast.expr] = (
+        call.args[position] if len(call.args) > position else None
+    )
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            found = kw.value
+    return found
+
+
+def _is_str_literal(node: Optional[ast.expr]) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _iter_calls(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.Call, bool]]:
+    """Every Call in the module, tagged with whether it executes at
+    import time (``False`` once nested under any function or lambda)."""
+
+    def walk(node: ast.AST, at_import: bool) -> Iterator[Tuple[ast.Call, bool]]:
+        for child in ast.iter_child_nodes(node):
+            nested = at_import and not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            )
+            if isinstance(child, ast.Call):
+                yield child, at_import
+            yield from walk(child, nested)
+
+    yield from walk(tree, True)
+
+
+@register
+class RegistryBootRule(FileRule):
+    rule_id = "REPRO108"
+    title = "component registration outside boot, or with a computed name"
+    rationale = (
+        "the registries freeze after boot: the deep-lint registry: seam "
+        "and the CLI/shootout choice lists enumerate components from "
+        "import-time registration statements with literal kind/name "
+        "arguments — a runtime or computed registration is invisible to "
+        "both, so it silently escapes the audited closure and the "
+        "user-facing component lists."
+    )
+    fix_hint = (
+        "move the register()/register_table() call to module level with "
+        "literal kind/name strings (register_table takes a module-level "
+        "table name)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        functions, modules = _mutator_bindings(ctx)
+        for call, at_import in _iter_calls(ctx.tree):
+            mutator = _mutator_call(call, ctx, functions, modules)
+            if mutator is None:
+                continue
+            if not at_import:
+                yield ctx.finding(
+                    call,
+                    self,
+                    f"registry `{mutator}` called at runtime — components "
+                    "must be registered at module import time",
+                )
+                continue
+            kind = _call_arg(call, 0, "kind")
+            if not _is_str_literal(kind):
+                yield ctx.finding(
+                    call,
+                    self,
+                    f"computed `kind` argument to `{mutator}` — the "
+                    "registry seam needs a string literal",
+                )
+            if mutator == "register":
+                name = _call_arg(call, 1, "name")
+                if not _is_str_literal(name):
+                    yield ctx.finding(
+                        call,
+                        self,
+                        "computed component `name` at a `register` call "
+                        "site — the registry seam and CLI choice lists "
+                        "need a string literal",
+                    )
+            else:
+                table = _call_arg(call, 1, "table")
+                if not isinstance(table, ast.Name):
+                    yield ctx.finding(
+                        call,
+                        self,
+                        "`register_table` argument must be a module-level "
+                        "table name, not an expression",
+                    )

@@ -19,12 +19,22 @@ The paper's comparison points:
                     counter-pollution inefficiency, Section III).
 ``tree``            LRU + tree-based neighborhood prefetcher (extension).
 ==================  ========================================================
+
+Since the registry refactor this module is a *thin registration site*: the
+tables that used to live here as module-private dicts are entries in
+:mod:`repro.registry`, where ``repro components``, ``repro shootout``, the
+CLI validators and the deep-lint ``registry:`` seam can all see them.  The
+public API (``POLICY_NAMES`` / ``PREFETCHER_NAMES`` / ``SETUPS`` /
+``build_*``) is unchanged — including the n-gram family and any plugin
+components, which register through :func:`repro.registry.register` without
+touching this file.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Iterator, Mapping, Tuple, cast
 
+from .. import registry as registry_mod
 from ..config import PatternBufferConfig
 from ..errors import ConfigError
 from ..policies import (
@@ -42,6 +52,7 @@ from ..prefetch import (
     Prefetcher,
     TreeNeighborhoodPrefetcher,
 )
+from ..registry import build, register
 
 __all__ = [
     "POLICY_NAMES",
@@ -52,74 +63,151 @@ __all__ = [
     "build_setup",
 ]
 
-_POLICY_BUILDERS: Dict[str, Callable[[], EvictionPolicy]] = {
-    "lru": LRUPolicy,
-    "random": RandomPolicy,
-    "lru-10": lambda: ReservedLRUPolicy(0.10),
-    "lru-20": lambda: ReservedLRUPolicy(0.20),
-    "hpe": HPEPolicy,
-    "mhpe": MHPEPolicy,
-}
+# --- eviction policies ------------------------------------------------------
 
-_PREFETCHER_BUILDERS: Dict[str, Callable[[], Prefetcher]] = {
-    "none": DisabledPrefetcher,
-    "locality": lambda: LocalityPrefetcher("continue"),
-    "locality-stop": lambda: LocalityPrefetcher("stop"),
-    "tree": lambda: TreeNeighborhoodPrefetcher(),
-    "pattern-s1": lambda: PatternAwarePrefetcher(
-        PatternBufferConfig(deletion_scheme=1)
-    ),
-    "pattern-s2": lambda: PatternAwarePrefetcher(
-        PatternBufferConfig(deletion_scheme=2)
-    ),
-}
+register(
+    "policy", "lru", LRUPolicy,
+    doc="LRU pre-eviction chain (the 4-chunk eviction granularity of [16])",
+)
+register(
+    "policy", "random", RandomPolicy,
+    params_schema={"seed": "drawn from SimConfig.seed (policy stream)"},
+    fingerprint_fields=("seed",),
+    doc="random victim selection (Figs. 3, 9 comparison point)",
+)
+register(
+    "policy", "lru-10", lambda: ReservedLRUPolicy(0.10),
+    params_schema={"reserve_fraction": "0.10 (top of chain protected)"},
+    doc="LRU with the top 10% of the chain protected from eviction",
+)
+register(
+    "policy", "lru-20", lambda: ReservedLRUPolicy(0.20),
+    params_schema={"reserve_fraction": "0.20 (top of chain protected)"},
+    doc="LRU with the top 20% of the chain protected from eviction",
+)
+register(
+    "policy", "hpe", HPEPolicy,
+    params_schema={"hpe": "SimConfig.hpe (counter thresholds)"},
+    fingerprint_fields=("hpe",),
+    doc="counter-based hot-page eviction (Section III inefficiency study)",
+)
+register(
+    "policy", "mhpe", MHPEPolicy,
+    params_schema={"mhpe": "SimConfig.mhpe (T1/T2/T3 thresholds)"},
+    fingerprint_fields=("mhpe",),
+    doc="CPPE's multi-level hot-page eviction (Section IV-B)",
+)
 
-POLICY_NAMES = tuple(sorted(_POLICY_BUILDERS))
-PREFETCHER_NAMES = tuple(sorted(_PREFETCHER_BUILDERS))
+# --- prefetchers ------------------------------------------------------------
 
-#: Named (policy, prefetcher) pairs — the units the figures compare.
-SETUPS: Dict[str, Tuple[str, str]] = {
-    "baseline": ("lru", "locality"),
-    "cppe": ("mhpe", "pattern-s2"),
-    "cppe-s1": ("mhpe", "pattern-s1"),
-    "random": ("random", "locality"),
-    "lru-10": ("lru-10", "locality"),
-    "lru-20": ("lru-20", "locality"),
-    "stop-on-full": ("lru", "locality-stop"),
-    "no-prefetch": ("lru", "none"),
-    "hpe": ("hpe", "locality"),
-    "tree": ("lru", "tree"),
-    "mhpe-naive": ("mhpe", "locality"),  # ablation: eviction half only
-    "lru-pattern": ("lru", "pattern-s2"),  # ablation: prefetch half only
-}
+register(
+    "prefetcher", "none", DisabledPrefetcher,
+    doc="demand paging only (no prefetch)",
+)
+register(
+    "prefetcher", "locality", lambda: LocalityPrefetcher("continue"),
+    params_schema={"on_full": "'continue' (keep prefetching when full)"},
+    doc="sequential-local 64 KB chunk prefetch, naive when full ([16] baseline)",
+)
+register(
+    "prefetcher", "locality-stop", lambda: LocalityPrefetcher("stop"),
+    params_schema={"on_full": "'stop' (demand-page only when full)"},
+    doc="locality prefetch that stops once memory fills (the [11] mitigation)",
+)
+register(
+    "prefetcher", "tree", lambda: TreeNeighborhoodPrefetcher(),
+    doc="tree-based neighborhood prefetcher observed in the CUDA driver [16]",
+)
+register(
+    "prefetcher", "pattern-s1",
+    lambda: PatternAwarePrefetcher(PatternBufferConfig(deletion_scheme=1)),
+    params_schema={"pattern_buffer": "PatternBufferConfig(deletion_scheme=1)"},
+    fingerprint_fields=("pattern_buffer",),
+    doc="CPPE pattern-aware prefetcher, deletion Scheme-1 (Fig. 7)",
+)
+register(
+    "prefetcher", "pattern-s2",
+    lambda: PatternAwarePrefetcher(PatternBufferConfig(deletion_scheme=2)),
+    params_schema={"pattern_buffer": "PatternBufferConfig(deletion_scheme=2)"},
+    fingerprint_fields=("pattern_buffer",),
+    doc="CPPE pattern-aware prefetcher, deletion Scheme-2 (adopted)",
+)
+
+# --- named (policy, prefetcher) setups — the units the figures compare ------
+
+register("setup", "baseline", ("lru", "locality"),
+         doc="LRU + naive locality prefetch (software baseline of [16])")
+register("setup", "cppe", ("mhpe", "pattern-s2"),
+         doc="the paper's adopted configuration")
+register("setup", "cppe-s1", ("mhpe", "pattern-s1"),
+         doc="CPPE with pattern deletion Scheme-1 (Fig. 7)")
+register("setup", "random", ("random", "locality"),
+         doc="random eviction comparison point (Figs. 3, 9)")
+register("setup", "lru-10", ("lru-10", "locality"),
+         doc="reserved LRU, 10% protected (Figs. 3, 9)")
+register("setup", "lru-20", ("lru-20", "locality"),
+         doc="reserved LRU, 20% protected (Figs. 3, 9)")
+register("setup", "stop-on-full", ("lru", "locality-stop"),
+         doc="stop prefetching at capacity (the [11] mitigation, Fig. 10)")
+register("setup", "no-prefetch", ("lru", "none"),
+         doc="LRU + demand paging only")
+register("setup", "hpe", ("hpe", "locality"),
+         doc="counter-based HPE (Section III inefficiency study)")
+register("setup", "tree", ("lru", "tree"),
+         doc="tree-based neighborhood prefetcher (extension)")
+register("setup", "mhpe-naive", ("mhpe", "locality"),
+         doc="ablation: eviction half only")
+register("setup", "lru-pattern", ("lru", "pattern-s2"),
+         doc="ablation: prefetch half only")
+
+
+class _SetupsView(Mapping[str, Tuple[str, str]]):
+    """Live read-only mapping view of the setup registry.
+
+    Iteration covers the *registered* setup names (sorted); lookup
+    additionally resolves compositional ``"policy+prefetcher"`` pair names,
+    mirroring :func:`repro.registry.setup_components`.
+    """
+
+    def __getitem__(self, name: str) -> Tuple[str, str]:
+        try:
+            return registry_mod.setup_components(name)
+        except ConfigError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(registry_mod.names("setup"))
+
+    def __len__(self) -> int:
+        return len(registry_mod.names("setup"))
+
+
+POLICY_NAMES = registry_mod.names("policy")
+PREFETCHER_NAMES = registry_mod.names("prefetcher")
+
+#: Named (policy, prefetcher) pairs — a live view over the setup registry.
+SETUPS: Mapping[str, Tuple[str, str]] = _SetupsView()
 
 
 def build_policy(name: str) -> EvictionPolicy:
-    """Construct a fresh policy instance by its harness name."""
-    try:
-        return _POLICY_BUILDERS[name]()
-    except KeyError:
-        raise ConfigError(
-            f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}"
-        ) from None
+    """Construct a fresh policy instance by its registered name."""
+    return cast(EvictionPolicy, build("policy", name))
 
 
 def build_prefetcher(name: str) -> Prefetcher:
-    """Construct a fresh prefetcher instance by its harness name."""
-    try:
-        return _PREFETCHER_BUILDERS[name]()
-    except KeyError:
-        raise ConfigError(
-            f"unknown prefetcher {name!r}; known: {', '.join(PREFETCHER_NAMES)}"
-        ) from None
+    """Construct a fresh prefetcher instance by its registered name."""
+    return cast(Prefetcher, build("prefetcher", name))
 
 
 def build_setup(name: str) -> Tuple[EvictionPolicy, Prefetcher]:
-    """Construct the named (policy, prefetcher) pair, freshly instantiated."""
-    try:
-        policy_name, prefetcher_name = SETUPS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown setup {name!r}; known: {', '.join(sorted(SETUPS))}"
-        ) from None
-    return build_policy(policy_name), build_prefetcher(prefetcher_name)
+    """Construct the named (policy, prefetcher) pair, freshly instantiated.
+
+    Accepts registered setup names (``sorted(SETUPS)``) and compositional
+    ``"<policy>+<prefetcher>"`` pair names (``repro shootout`` uses these
+    to enumerate the cross product).
+    """
+    policy_name, prefetcher_name = registry_mod.setup_components(name)
+    return (
+        cast(EvictionPolicy, build("policy", policy_name)),
+        cast(Prefetcher, build("prefetcher", prefetcher_name)),
+    )

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union, cast
 
 from ..config import SimConfig
+from ..registry import plugin_components_payload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiment -> cache)
     from ..engine.simulator import SimulationResult
@@ -170,6 +171,15 @@ def spec_fingerprint(
         "spec": spec_fields,
         "config": _config_payload(effective),
     }
+    # Component identity sections derive from the registry's declared
+    # ``fingerprint_fields``.  In-tree setups contribute nothing — the
+    # payload stays byte-identical to the pre-registry format, so warm
+    # caches survive (golden-key test) — but a plugin component's name,
+    # origin module and declared fields enter the key whenever a plugin is
+    # actually part of the setup.
+    components = plugin_components_payload(spec.setup)
+    if components is not None:
+        payload["components"] = components
     return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
 
 

@@ -18,7 +18,7 @@ from typing import Callable, List, Optional
 
 from ..analysis.metrics import mean
 from ..errors import WorkerFailure
-from . import figures, tables
+from . import figures, shootout, tables
 from .faults import FaultTolerance, render_failure_summary
 from .store import save_artifact
 
@@ -81,6 +81,14 @@ PAPER_CLAIMS = {
         "evicted-chunk buffer 73/51 entries; pattern buffer 37.2%/88.7% of "
         "the chain length.  All structures live in host memory."
     ),
+    "shootout": (
+        "Extension artifact (no single paper figure): the paper argues — "
+        "via Figs. 3, 9 and 10 — that neither an eviction policy nor a "
+        "prefetcher alone fixes oversubscription thrashing; the shootout "
+        "makes the full policy x prefetcher cross product explicit for one "
+        "thrashing app, enumerated from the component registries, so any "
+        "registered plugin component joins the comparison automatically."
+    ),
 }
 
 _GENERATORS: List = [
@@ -108,6 +116,8 @@ _GENERATORS: List = [
      tables.sensitivity_t3(scale=scale, jobs=jobs, fault_tolerance=ft)),
     ("overhead", lambda scale, jobs, ft:
      tables.overhead(scale=scale, jobs=jobs, fault_tolerance=ft)),
+    ("shootout", lambda scale, jobs, ft:
+     shootout.shootout_table(scale=scale, jobs=jobs, fault_tolerance=ft)),
 ]
 
 
@@ -124,6 +134,10 @@ def _headline(name: str, artifact) -> str:
         ratios = artifact.series["eviction-ratio"]
         worst = max(ratios, key=ratios.get)
         return f"worst blow-up {worst} at {ratios[worst]:.1f}x; {len(ratios)} apps above 1.2x"
+    if name == "shootout":
+        best = artifact.rows[0]
+        return (f"best of {len(artifact.rows)} combos: {best[0]} "
+                f"({best[1]} + {best[2]}) at {best[3]:.2f}x vs baseline")
     if hasattr(artifact, "averages") and artifact.averages:
         parts = [f"{k}={v:.2f}" for k, v in sorted(artifact.averages.items())
                  if "mean" in k][:4]

@@ -1,0 +1,227 @@
+"""Exhaustive policy x prefetcher shootout, enumerated from the registry.
+
+The first-class artifact that the component registries exist for: every
+registered eviction policy crossed with every registered prefetcher on one
+application, run as a single batch through :func:`submit_batch` (memo +
+disk cache + optional process pool), ranked by speedup over the baseline
+setup.  Because the combos are *enumerated* — ``names("policy")`` x
+``names("prefetcher")`` — a plugin that registers one new component at
+import time automatically grows the matrix; nothing here is edited.
+
+Pair combos that coincide with a registered named setup are run under that
+setup's canonical name (:func:`repro.registry.canonical_setup_name`), so a
+shootout shares cache entries with every other harness entry point — a
+warm-cache re-run performs zero new simulations (asserted in CI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import SimConfig
+from ..registry import canonical_setup_name, names, setup_components
+from .experiment import BatchStats, RunSpec, SimulationResult, submit_batch
+from .faults import FaultTolerance
+from .tables import TableResult
+
+__all__ = [
+    "BASELINE_SETUP",
+    "ShootoutResult",
+    "run_shootout",
+    "shootout_setups",
+    "shootout_table",
+]
+
+Progress = Optional[Callable[[int, int], None]]
+
+#: Speedups are normalised against this registered setup (LRU eviction +
+#: naive locality prefetch, the paper's baseline configuration).
+BASELINE_SETUP = "baseline"
+
+
+@dataclass
+class ShootoutResult:
+    """One shootout: the ranked table plus the batch's cache traffic."""
+
+    app: str
+    rate: float
+    scale: float
+    baseline: str
+    table: TableResult
+    stats: BatchStats
+    #: Setups whose run crashed (thrashing detector) or failed (keep_going).
+    crashed: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+
+    @property
+    def combos(self) -> int:
+        return len(self.table.rows)
+
+    @property
+    def new_simulations(self) -> int:
+        """Simulations executed fresh for this shootout (0 on a warm cache)."""
+        return self.stats.simulated
+
+    @property
+    def cached(self) -> int:
+        return self.stats.cached
+
+    def render(self) -> str:
+        return self.table.render()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON payload for ``repro shootout --json`` and CI assertions."""
+        return {
+            "app": self.app,
+            "rate": self.rate,
+            "scale": self.scale,
+            "baseline": self.baseline,
+            "combos": self.combos,
+            "new_simulations": self.new_simulations,
+            "cached": self.cached,
+            "crashed": list(self.crashed),
+            "failed": list(self.failed),
+            "headers": list(self.table.headers),
+            "rows": [list(r) for r in self.table.rows],
+        }
+
+
+def shootout_setups() -> List[str]:
+    """Every policy x prefetcher combo as a canonical setup name.
+
+    Sorted for deterministic batch order; canonicalisation folds pairs
+    that match a registered named setup (e.g. ``lru+locality`` runs as
+    ``baseline``) so the shootout hits the same cache keys as named runs.
+    """
+    return sorted(
+        canonical_setup_name(policy, prefetcher)
+        for policy in names("policy")
+        for prefetcher in names("prefetcher")
+    )
+
+
+def _row(
+    setup: str,
+    result: SimulationResult,
+    baseline: Optional[SimulationResult],
+) -> List[object]:
+    policy, prefetcher = setup_components(setup)
+    if result.crashed or baseline is None or baseline.crashed:
+        speedup: Optional[float] = None
+    else:
+        speedup = result.speedup_over(baseline)
+    return [
+        setup,
+        policy,
+        prefetcher,
+        speedup,
+        result.stats.far_faults,
+        result.stats.chunks_evicted,
+        f"{result.stats.prefetch_accuracy:.0%}",
+        result.crashed,
+    ]
+
+
+def run_shootout(
+    app: str,
+    rate: float = 0.5,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
+) -> ShootoutResult:
+    """Run every registered policy x prefetcher combo on ``app``.
+
+    One :func:`submit_batch` call covers the whole matrix; rows rank by
+    speedup over :data:`BASELINE_SETUP` (crashed or failed runs sink to
+    the bottom with a ``-`` speedup — a crashed run's cycle count is not
+    a runtime).  Pass a ``keep_going`` ``fault_tolerance`` to tolerate
+    individual combo failures; failed combos are listed, not raised.
+    """
+    setups = shootout_setups()
+    specs = [RunSpec(app, setup, rate, scale=scale, seed=seed)
+             for setup in setups]
+    results, stats = submit_batch(
+        specs,
+        config=config,
+        jobs=jobs,
+        progress=progress,
+        fault_tolerance=fault_tolerance,
+    )
+    by_setup: Dict[str, Optional[SimulationResult]] = {
+        spec.setup: results.get(spec.key()) for spec in specs
+    }
+    baseline = by_setup.get(BASELINE_SETUP)
+    rows: List[List[object]] = []
+    crashed: List[str] = []
+    failed: List[str] = []
+    for setup in setups:
+        result = by_setup[setup]
+        if result is None:  # keep_going dropped it
+            failed.append(setup)
+            continue
+        if result.crashed:
+            crashed.append(setup)
+        rows.append(_row(setup, result, baseline))
+    # Rank: completed runs by speedup descending, then crashed, then by
+    # name — a total deterministic order even when speedups tie.
+    rows.sort(key=lambda r: (r[3] is None, -(r[3] or 0.0), str(r[0])))
+    headers = ["setup", "policy", "prefetcher", "speedup", "faults",
+               "evictions", "prefetch acc", "crashed"]
+    notes = []
+    if failed:
+        notes.append(f"failed (excluded): {', '.join(failed)}")
+    if baseline is None or baseline.crashed:
+        notes.append(
+            f"baseline setup {BASELINE_SETUP!r} crashed or failed: "
+            "speedups unavailable"
+        )
+    table = TableResult(
+        name="shootout",
+        description=(
+            f"{app} at {rate:.0%} oversubscription — every registered "
+            f"policy x prefetcher combo (speedup vs {BASELINE_SETUP!r})"
+        ),
+        headers=headers,
+        rows=rows,
+        notes=notes,
+    )
+    return ShootoutResult(
+        app=app,
+        rate=rate,
+        scale=scale,
+        baseline=BASELINE_SETUP,
+        table=table,
+        stats=stats,
+        crashed=crashed,
+        failed=failed,
+    )
+
+
+def shootout_table(
+    apps: Optional[List[str]] = None,
+    rate: float = 0.5,
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    progress: Progress = None,
+    fault_tolerance: Optional[FaultTolerance] = None,
+) -> TableResult:
+    """Regenerator-shaped entry point (``repro table/regen shootout``,
+    ``docgen``): same keyword surface as the paper-table generators.
+
+    ``apps`` follows the regenerator convention but a shootout is a
+    single-app artifact: the first entry (default ``SRD``, the canonical
+    Type IV thrasher) is used.
+    """
+    app = (list(apps) or ["SRD"])[0] if apps else "SRD"
+    return run_shootout(
+        app,
+        rate=rate,
+        scale=scale,
+        jobs=jobs,
+        progress=progress,
+        fault_tolerance=fault_tolerance,
+    ).table

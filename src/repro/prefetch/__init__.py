@@ -7,12 +7,16 @@
 * :class:`TreeNeighborhoodPrefetcher` — the tree-based neighborhood
   prefetcher Ganguly et al. observed in the CUDA driver [16] (extension);
 * :class:`PatternAwarePrefetcher` — CPPE's access pattern-aware prefetcher
-  (Section IV-C) with Scheme-1/Scheme-2 pattern deletion.
+  (Section IV-C) with Scheme-1/Scheme-2 pattern deletion;
+* :class:`NGramPrefetcher` — online n-gram/Markov next-chunk predictor over
+  the fault stream (the learned-prefetching baseline; registers itself and
+  its setups through :mod:`repro.registry` alone).
 """
 
 from .base import Prefetcher, PrefetchContext
 from .disabled import DisabledPrefetcher
 from .locality import LocalityPrefetcher
+from .ngram import NGramPrefetcher
 from .tree_neighborhood import TreeNeighborhoodPrefetcher
 from .pattern_aware import PatternAwarePrefetcher, PatternBuffer, PatternEntry
 
@@ -21,6 +25,7 @@ __all__ = [
     "PrefetchContext",
     "DisabledPrefetcher",
     "LocalityPrefetcher",
+    "NGramPrefetcher",
     "TreeNeighborhoodPrefetcher",
     "PatternAwarePrefetcher",
     "PatternBuffer",

@@ -1,0 +1,499 @@
+"""Typed, deterministic component registries (policies / prefetchers /
+workloads / setups).
+
+Every pluggable component of the harness lives in one of four registries:
+
+``policy``
+    Eviction policies (:class:`~repro.policies.base.EvictionPolicy`
+    factories).
+``prefetcher``
+    Page prefetchers (:class:`~repro.prefetch.base.Prefetcher` factories).
+``workload``
+    The benchmark suite (Table II specs; registered in bulk from
+    ``repro.workloads.suite.BENCHMARKS``).
+``setup``
+    Named ``(policy, prefetcher)`` pairs — the units the figures compare.
+
+Components self-register **at import time** via :func:`register` (or
+:func:`register_table` for table-driven bulk registration).  Registration
+after boot is an error: the registry freezes on the first component build,
+so the set of components — and therefore every cache key, CLI choice list
+and lint closure derived from it — is a pure function of which modules were
+imported, never of runtime control flow.  ``repro lint`` enforces the
+import-time discipline statically (REPRO108), and ``repro lint --deep``
+resolves registered builders through the ``registry:`` call-graph seam so
+the taint/reachability analyses walk into every builder (LINTING.md).
+
+Out-of-tree plugins are discovered from the ``REPRO_PLUGINS`` environment
+variable (comma/colon-separated module names) and the ``repro.plugins``
+entry-point group, in deterministically sorted order, when this module is
+first imported.  A plugin component's identity enters the simulation cache
+key (:func:`plugin_components_payload`) **only when a plugin component is
+actually part of the spec's setup** — purely in-tree setups keep
+byte-identical pre-registry fingerprints, so warm caches survive
+(tests/test_registry.py golden-key test).
+
+Setups also resolve *compositionally*: any ``"<policy>+<prefetcher>"``
+name (e.g. ``"lru+ngram"``) is a valid setup naming that exact pair, with
+a stable cache key, without any runtime registration.  ``repro shootout``
+uses this to enumerate the full policy x prefetcher cross product.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .errors import ConfigError
+
+__all__ = [
+    "KINDS",
+    "PAIR_SEPARATOR",
+    "PLUGIN_ENV",
+    "PLUGIN_GROUP",
+    "Registration",
+    "Registry",
+    "RegistryError",
+    "build",
+    "build_setup",
+    "canonical_setup_name",
+    "default_registry",
+    "discovered_plugins",
+    "get",
+    "items",
+    "names",
+    "pair_setup_name",
+    "plugin_components_payload",
+    "register",
+    "register_table",
+    "setup_components",
+]
+
+#: The closed set of registry kinds.  A closed set (not an open namespace)
+#: keeps the ``registry:<kind>`` lint seam enumerable.
+KINDS: Tuple[str, ...] = ("policy", "prefetcher", "setup", "workload")
+
+#: Separator for compositional setup names (``"lru+ngram"``).  Reserved:
+#: no registered component name may contain it.
+PAIR_SEPARATOR = "+"
+
+#: Environment variable naming plugin modules to import at boot
+#: (comma/colon-separated), e.g. ``REPRO_PLUGINS=my_lab.prefetchers``.
+PLUGIN_ENV = "REPRO_PLUGINS"
+
+#: Entry-point group third-party distributions use to advertise plugins.
+PLUGIN_GROUP = "repro.plugins"
+
+
+class RegistryError(ConfigError):
+    """A registration violated the registry contract (collision, frozen
+    registry, reserved name, non-buildable component)."""
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One registered component.
+
+    ``builder`` is a zero-argument factory for ``policy``/``prefetcher``
+    kinds, a ``(policy_name, prefetcher_name)`` pair for ``setup``, and an
+    arbitrary descriptor object (the :class:`BenchmarkSpec`) for
+    ``workload``.  ``fingerprint_fields`` declares which ``SimConfig``
+    sections parameterise the component's behaviour — the machine-readable
+    contract the cache layer and ``repro lint --deep`` (REPRO501) audit.
+    ``origin`` is the defining module; anything outside the ``repro``
+    package is a plugin and enters the cache key when used
+    (:func:`plugin_components_payload`).
+    """
+
+    kind: str
+    name: str
+    builder: Any
+    params_schema: Mapping[str, str] = field(default_factory=dict)
+    fingerprint_fields: Tuple[str, ...] = ()
+    doc: str = ""
+    origin: str = ""
+
+    @property
+    def plugin(self) -> bool:
+        """True for out-of-tree components (origin outside ``repro.*``)."""
+        root = self.origin.split(".", 1)[0]
+        return root != "repro"
+
+
+class Registry:
+    """A set of component tables with deterministic iteration order and
+    frozen-after-boot mutation semantics."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Dict[str, Registration]] = {
+            kind: {} for kind in KINDS
+        }
+        self._frozen = False
+
+    # --- mutation (import time only) -------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Seal the registry: any later :meth:`add` raises.
+
+        Called automatically on the first component build — after boot the
+        component set must be a pure function of the imported modules.
+        """
+        self._frozen = True
+
+    def add(
+        self,
+        kind: str,
+        name: str,
+        builder: Any,
+        *,
+        params_schema: Optional[Mapping[str, str]] = None,
+        fingerprint_fields: Tuple[str, ...] = (),
+        doc: str = "",
+        origin: str = "",
+    ) -> Registration:
+        if kind not in KINDS:
+            raise RegistryError(
+                f"unknown registry kind {kind!r}; kinds: {', '.join(KINDS)}"
+            )
+        if self._frozen:
+            raise RegistryError(
+                f"registry is frozen: cannot register {kind} {name!r} after "
+                "boot — components register at module import time only "
+                "(REPRO108)"
+            )
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"component name must be a non-empty string, got {name!r}")
+        if PAIR_SEPARATOR in name and kind in ("policy", "prefetcher", "setup"):
+            # Workload names may contain '+' ("B+T"); setup-side names may
+            # not — '+' is the compositional pair separator there.
+            raise RegistryError(
+                f"{kind} name {name!r} contains the reserved pair "
+                f"separator {PAIR_SEPARATOR!r}"
+            )
+        existing = self._entries[kind].get(name)
+        if existing is not None:
+            raise RegistryError(
+                f"duplicate {kind} {name!r}: already registered by "
+                f"{existing.origin or 'an earlier import'}"
+            )
+        entry = Registration(
+            kind=kind,
+            name=name,
+            builder=builder,
+            params_schema=dict(params_schema or {}),
+            fingerprint_fields=tuple(fingerprint_fields),
+            doc=doc,
+            origin=origin,
+        )
+        self._entries[kind][name] = entry
+        return entry
+
+    # --- lookup (freezes on first build) ----------------------------------
+
+    def names(self, kind: str) -> Tuple[str, ...]:
+        """Registered component names of ``kind``, sorted."""
+        if kind not in KINDS:
+            raise RegistryError(
+                f"unknown registry kind {kind!r}; kinds: {', '.join(KINDS)}"
+            )
+        return tuple(sorted(self._entries[kind]))
+
+    def items(self, kind: str) -> Tuple[Registration, ...]:
+        """Registrations of ``kind``, sorted by name."""
+        return tuple(
+            self._entries[kind][name] for name in self.names(kind)
+        )
+
+    def get(self, kind: str, name: str) -> Registration:
+        """Look up one registration; unknown names list the valid choices."""
+        if kind not in KINDS:
+            raise RegistryError(
+                f"unknown registry kind {kind!r}; kinds: {', '.join(KINDS)}"
+            )
+        entry = self._entries[kind].get(name)
+        if entry is None:
+            raise ConfigError(
+                f"unknown {kind} {name!r}; known: {', '.join(self.names(kind))}"
+            )
+        return entry
+
+    def build(self, kind: str, name: str) -> Any:
+        """Construct a fresh component instance (and freeze the registry)."""
+        self.freeze()
+        entry = self.get(kind, name)
+        factory = entry.builder
+        if not callable(factory):
+            raise RegistryError(
+                f"{kind} {name!r} is not buildable: its builder is a "
+                f"{type(factory).__name__}, not a callable"
+            )
+        return factory()
+
+    def setup_components(self, name: str) -> Tuple[str, str]:
+        """Resolve a setup name to its ``(policy, prefetcher)`` names.
+
+        Accepts registered setup names and compositional
+        ``"<policy>+<prefetcher>"`` pair names.
+        """
+        entry = self._entries["setup"].get(name)
+        if entry is not None:
+            pair = entry.builder
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not all(isinstance(part, str) for part in pair)
+            ):
+                raise RegistryError(
+                    f"setup {name!r} must register a (policy, prefetcher) "
+                    f"name pair, got {pair!r}"
+                )
+            return (pair[0], pair[1])
+        pair_names = split_pair_name(name)
+        if pair_names is not None:
+            return pair_names
+        raise ConfigError(
+            f"unknown setup {name!r}; known: {', '.join(self.names('setup'))}"
+        )
+
+
+def split_pair_name(name: str) -> Optional[Tuple[str, str]]:
+    """``"lru+ngram"`` -> ``("lru", "ngram")``; ``None`` if not a pair."""
+    if PAIR_SEPARATOR not in name:
+        return None
+    policy_name, _, prefetcher_name = name.partition(PAIR_SEPARATOR)
+    if not policy_name or not prefetcher_name:
+        return None
+    if PAIR_SEPARATOR in prefetcher_name:
+        return None
+    return policy_name, prefetcher_name
+
+
+def pair_setup_name(policy_name: str, prefetcher_name: str) -> str:
+    """The compositional setup name for a ``(policy, prefetcher)`` pair."""
+    return f"{policy_name}{PAIR_SEPARATOR}{prefetcher_name}"
+
+
+# --- module-level facade over the default registry --------------------------
+
+_default = Registry()
+
+
+def default_registry() -> Registry:
+    """The process-wide registry every in-tree component registers into."""
+    return _default
+
+
+def _caller_module(depth: int = 2) -> str:
+    """Module name of the registration call site (for ``origin``)."""
+    frame = sys._getframe(depth)
+    return str(frame.f_globals.get("__name__", "<unknown>"))
+
+
+def register(
+    kind: str,
+    name: str,
+    builder: Any,
+    *,
+    params_schema: Optional[Mapping[str, str]] = None,
+    fingerprint_fields: Tuple[str, ...] = (),
+    doc: str = "",
+) -> Registration:
+    """Register one component into the default registry.
+
+    Must be called at module import time with literal ``kind``/``name``
+    arguments — runtime registration and computed names are lint findings
+    (REPRO108): the component set has to be statically enumerable for the
+    deep-lint ``registry:`` seam and the CLI choice lists to be sound.
+    """
+    return _default.add(
+        kind,
+        name,
+        builder,
+        params_schema=params_schema,
+        fingerprint_fields=fingerprint_fields,
+        doc=doc,
+        origin=_caller_module(),
+    )
+
+
+def register_table(
+    kind: str,
+    table: Mapping[str, Any],
+    *,
+    doc: str = "",
+) -> Tuple[Registration, ...]:
+    """Bulk-register a module-level table (e.g. the Table II workload suite).
+
+    Keys become component names (sorted — registration order is
+    deterministic regardless of the table's insertion order); values are the
+    builders/descriptors.  The table argument must be a module-level name,
+    not an expression (REPRO108), so the deep-lint seam can resolve it.
+    """
+    origin = _caller_module()
+    registered = []
+    for name in sorted(table):
+        value = table[name]
+        entry_doc = doc
+        description = getattr(value, "description", "")
+        if description:
+            entry_doc = f"{doc}: {description}" if doc else str(description)
+        registered.append(
+            _default.add(kind, name, value, doc=entry_doc, origin=origin)
+        )
+    return tuple(registered)
+
+
+def names(kind: str) -> Tuple[str, ...]:
+    return _default.names(kind)
+
+
+def items(kind: str) -> Tuple[Registration, ...]:
+    return _default.items(kind)
+
+
+def get(kind: str, name: str) -> Registration:
+    return _default.get(kind, name)
+
+
+def build(kind: str, name: str) -> Any:
+    return _default.build(kind, name)
+
+
+def setup_components(name: str) -> Tuple[str, str]:
+    return _default.setup_components(name)
+
+
+def build_setup(name: str) -> Tuple[Any, Any]:
+    """Construct the named (or pair-named) setup's fresh component pair."""
+    policy_name, prefetcher_name = _default.setup_components(name)
+    return build("policy", policy_name), build("prefetcher", prefetcher_name)
+
+
+def canonical_setup_name(policy_name: str, prefetcher_name: str) -> str:
+    """The stable display/cache name for a component pair.
+
+    The first registered setup (sorted by name) naming exactly this pair
+    wins — so the shootout reuses the named setups' warm cache entries —
+    and unregistered pairs fall back to the compositional pair name.
+    """
+    for entry in _default.items("setup"):
+        if entry.builder == (policy_name, prefetcher_name):
+            return entry.name
+    return pair_setup_name(policy_name, prefetcher_name)
+
+
+def plugin_components_payload(setup_name: str) -> Optional[Dict[str, object]]:
+    """Extra ``spec_fingerprint`` payload when a plugin component is used.
+
+    Returns ``None`` — and therefore leaves the fingerprint payload
+    byte-identical to the pre-registry format — unless the setup resolves
+    to at least one out-of-tree component.  For plugin components the
+    section pins the component's identity (name, origin module, declared
+    ``fingerprint_fields``) into the cache key, so two plugins squatting
+    the same name from different modules can never share cache entries.
+    """
+    sections: Dict[str, object] = {}
+    setup_entry = _default._entries["setup"].get(setup_name)
+    if setup_entry is not None and setup_entry.plugin:
+        sections["setup"] = _component_section(setup_entry)
+    try:
+        policy_name, prefetcher_name = _default.setup_components(setup_name)
+    except ConfigError:
+        return sections or None
+    for kind, component in (
+        ("policy", policy_name),
+        ("prefetcher", prefetcher_name),
+    ):
+        entry = _default._entries[kind].get(component)
+        if entry is not None and entry.plugin:
+            sections[kind] = _component_section(entry)
+    return sections or None
+
+
+def _component_section(entry: Registration) -> Dict[str, object]:
+    return {
+        "name": entry.name,
+        "origin": entry.origin,
+        "fingerprint_fields": sorted(entry.fingerprint_fields),
+    }
+
+
+# --- plugin discovery --------------------------------------------------------
+
+_discovered: Tuple[str, ...] = ()
+
+
+def discovered_plugins() -> Tuple[str, ...]:
+    """The plugin modules imported at boot, in import order (sorted)."""
+    return _discovered
+
+
+def _plugin_env_modules(raw: str) -> List[str]:
+    parts: List[str] = []
+    for chunk in raw.replace(",", ":").split(":"):
+        module = chunk.strip()
+        if module and module not in parts:
+            parts.append(module)
+    return sorted(parts)
+
+
+def _entry_point_modules() -> List[str]:
+    """Plugin modules advertised under the ``repro.plugins`` group."""
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - python < 3.8
+        return []
+    try:
+        eps: Any = metadata.entry_points()
+    except Exception:  # pragma: no cover - broken metadata backend
+        return []
+    if hasattr(eps, "select"):
+        group: Any = eps.select(group=PLUGIN_GROUP)
+    else:  # pragma: no cover - python 3.9 mapping API
+        group = eps.get(PLUGIN_GROUP, ())
+    modules = {str(ep.value).partition(":")[0] for ep in group}
+    return sorted(modules)
+
+
+def _discover_plugins(registry: Registry, raw_env: str) -> Tuple[str, ...]:
+    """Import plugin modules in deterministically sorted order.
+
+    Importing a plugin module runs its import-time ``register`` calls.  A
+    plugin that fails to import fails loudly: a half-registered component
+    set would make cache keys and CLI behaviour dependent on the failure
+    mode instead of the configuration.
+    """
+    import importlib
+
+    modules: List[str] = []
+    for module in _plugin_env_modules(raw_env) + _entry_point_modules():
+        if module not in modules:
+            modules.append(module)
+    imported: List[str] = []
+    for module in modules:
+        try:
+            importlib.import_module(module)
+        except RegistryError:
+            raise
+        except Exception as exc:
+            raise ConfigError(
+                f"plugin module {module!r} (from ${PLUGIN_ENV} / "
+                f"{PLUGIN_GROUP} entry points) failed to import: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        imported.append(module)
+    return tuple(imported)
+
+
+# Import-time discovery: deliberately a module-level statement, so plugins
+# are in place before any in-tree registrations complete and before the
+# registry can freeze.  Env/entry-point reads happen once per process at
+# import — never inside any function reachable from the simulation entry
+# points (REPRO603 would flag that; see LINTING.md).
+_discovered = _discover_plugins(_default, os.environ.get(PLUGIN_ENV, ""))

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..errors import WorkloadError
+from ..registry import register_table
 from .base import Workload
 from . import patterns
 
@@ -150,6 +151,12 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
               step=1500),
     ]
 }
+
+# Table-driven bulk registration: each BenchmarkSpec becomes a ``workload``
+# component (``repro components list --kind workload``), so services can
+# enumerate the suite without importing this module's tables directly.
+# ``make_workload`` below stays the single construction path.
+register_table("workload", BENCHMARKS)
 
 #: Applications shown in Fig. 3 (thrashing + irregular comparison).
 FIG3_APPS: List[str] = ["SRD", "HSD", "MRQ", "STN", "B+T", "HYB"]

@@ -1,0 +1,23 @@
+# expect: REPRO501
+# repro-lint: module=repro.harness.cache
+"""Fingerprint that elides the knob a plugin's builder actually reads.
+
+``corpus_config_fingerprint`` hashes the whole config via ``asdict`` and
+then deletes ``plugin_knob`` — defensible when nothing read it, wrong the
+moment the plugin registered a builder that does.  Deep mode must walk
+the registry seam (``_execute`` -> ``build("prefetcher", ...)`` -> every
+registered builder, including the plugin's) and connect the read back to
+this elision (REPRO501).  No FINGERPRINT_ELISIONS entry justifies it.
+"""
+import dataclasses
+import hashlib
+import json
+
+from repro.config import CorpusPluginConfig
+
+
+def corpus_config_fingerprint(config: CorpusPluginConfig) -> str:
+    payload = dataclasses.asdict(config)
+    del payload["plugin_knob"]
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,17 @@
+# expect:
+# repro-lint: module=repro.config
+"""Hashed config dataclass that grew a plugin-facing knob.
+
+``plugin_knob`` only matters to an out-of-tree prefetcher plugin
+(corpus_plugin.py), which is exactly why it is easy to forget in the
+fingerprint — nothing in-tree reads it.  This file itself is clean; the
+finding anchors at the elision site in corpus_cache.py.
+"""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusPluginConfig:
+    seed: int = 0
+    num_sms: int = 28
+    plugin_knob: int = 4  # read only by the plugin's builder

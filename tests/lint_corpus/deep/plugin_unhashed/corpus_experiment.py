@@ -1,0 +1,16 @@
+# expect:
+# repro-lint: module=repro.harness.experiment
+"""Simulation entry point that builds its prefetcher through the registry.
+
+``_execute`` never names the plugin class — the literal-kind ``build``
+call is the seam.  Deep mode fans ``registry:prefetcher`` out to every
+import-time registration, which is how the plugin's builder (and its
+config read) enters the simulation closure.  This file is clean.
+"""
+from repro.config import CorpusPluginConfig
+from repro.registry import build
+
+
+def _execute(spec, config: CorpusPluginConfig):
+    prefetcher = build("prefetcher", "corpus-markov")
+    return prefetcher

@@ -1,0 +1,24 @@
+# expect:
+# repro-lint: module=cppe_plugins.markov
+"""Out-of-tree plugin whose builder reads an unfingerprinted knob.
+
+A well-formed plugin: module-level registration, literal kind/name, so
+REPRO108 stays quiet.  But its builder reads ``config.plugin_knob``,
+which corpus_cache.py elides from the cache hash — two runs differing
+only in the knob would share a cache entry.  The finding (REPRO501)
+anchors at the elision, not here: the plugin is allowed to read any
+config field; the hash has to keep up.
+"""
+from repro.config import CorpusPluginConfig
+from repro.registry import register
+
+
+class CorpusMarkovPrefetcher:
+    def __init__(self, config: CorpusPluginConfig):
+        self.depth = config.plugin_knob
+
+    def on_fault(self, chunk, state):
+        return []
+
+
+register("prefetcher", "corpus-markov", CorpusMarkovPrefetcher)

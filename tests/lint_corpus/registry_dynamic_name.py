@@ -1,0 +1,18 @@
+# expect: REPRO108
+"""Corpus: computed component name at a registry call site.
+
+The loop runs at import time, so this is not a runtime mutation — but
+the f-string name cannot be resolved statically, so the CLI choice
+lists and the deep-lint seam cannot enumerate what got registered
+(REPRO108).
+"""
+from repro.registry import register
+
+
+class SweepPolicy:
+    def pick_victims(self, need, state):
+        return []
+
+
+for width in (1, 2, 4):
+    register("policy", f"sweep-{width}", SweepPolicy)

@@ -1,0 +1,17 @@
+# expect: REPRO108
+"""Corpus: component registered from inside a function (runtime mutation).
+
+The registries freeze after boot — a ``register`` call that only runs
+when some function is invoked is invisible to the deep-lint ``registry:``
+seam and to the CLI/shootout component lists (REPRO108).
+"""
+from repro.registry import register
+
+
+class LateBreakingPolicy:
+    def pick_victims(self, need, state):
+        return []
+
+
+def enable_late_policy():
+    register("policy", "late-breaking", LateBreakingPolicy)

@@ -133,6 +133,37 @@ class TestRepoClosures:
         fields_read = {site.field for site in repo_analysis.sim_config_reads}
         assert fields_read  # _execute and friends read spec/config attrs
 
+    def test_registry_seam_collects_registrations(self, repo_analysis):
+        # Module-level register()/register_table() calls are aggregated
+        # per kind; the workload table rides the existing table: seam.
+        registrations = repo_analysis.graph.registrations
+        assert {"policy", "prefetcher", "workload"} <= set(registrations)
+        assert any(
+            "table:repro.workloads.suite" in ref
+            for ref in registrations["workload"]
+        )
+
+    def test_registry_seam_fans_builders_into_closures(self, repo_analysis):
+        # build_setup dispatches through build("policy"/...) — without the
+        # registry: seam no builder constructor would be reachable, and
+        # determinism/taint coverage would silently shrink.  The ngram
+        # prefetcher registers purely through the public API, so its
+        # presence here proves the seam resolves plugins too.
+        for closure in (
+            repo_analysis.sim_functions,
+            repo_analysis.worker_functions,
+        ):
+            assert (
+                "repro.prefetch.ngram.NGramPrefetcher.__init__" in closure
+            )
+            assert "repro.policies.mhpe.MHPEPolicy.__init__" in closure
+        for module in (
+            "repro.prefetch.ngram",
+            "repro.prefetch.tree_neighborhood",
+            "repro.policies.hpe",
+        ):
+            assert module in repo_analysis.sim_modules
+
 
 class TestAcceptanceFailures:
     """The two mandated failure-mode demonstrations."""

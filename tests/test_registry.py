@@ -1,0 +1,315 @@
+"""Component-registry contract tests.
+
+Covers the registry semantics the rest of the harness leans on: collision
+detection, frozen-after-boot mutation, unknown-name errors that list the
+valid choices, deterministic plugin discovery, compositional pair setups,
+and — most load-bearing — the golden cache-key test: every setup that
+existed before the registry refactor must keep a byte-identical
+``spec_fingerprint``, or every warm cache in existence silently dies.
+"""
+
+import sys
+import types
+
+import pytest
+
+from repro import registry
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.harness.baselines import SETUPS  # noqa: F401  (registers components)
+from repro.harness.cache import spec_fingerprint
+from repro.harness.experiment import RunSpec
+from repro.registry import (
+    KINDS,
+    Registration,
+    Registry,
+    RegistryError,
+    canonical_setup_name,
+    pair_setup_name,
+    plugin_components_payload,
+    split_pair_name,
+)
+
+
+def _policy():
+    return object()
+
+
+class TestRegistryContract:
+    def test_duplicate_name_collides(self):
+        reg = Registry()
+        reg.add("policy", "lru", _policy, origin="pkg_a.policies")
+        with pytest.raises(RegistryError, match="duplicate policy 'lru'"):
+            reg.add("policy", "lru", _policy, origin="pkg_b.policies")
+
+    def test_collision_names_the_prior_origin(self):
+        reg = Registry()
+        reg.add("policy", "lru", _policy, origin="pkg_a.policies")
+        with pytest.raises(RegistryError, match="pkg_a.policies"):
+            reg.add("policy", "lru", _policy)
+
+    def test_unknown_kind_rejected(self):
+        reg = Registry()
+        with pytest.raises(RegistryError, match="unknown registry kind"):
+            reg.add("flusher", "x", _policy)
+        with pytest.raises(RegistryError, match="unknown registry kind"):
+            reg.names("flusher")
+
+    def test_unknown_name_error_lists_choices(self):
+        reg = Registry()
+        reg.add("prefetcher", "alpha", _policy)
+        reg.add("prefetcher", "beta", _policy)
+        with pytest.raises(ConfigError, match=r"alpha, beta"):
+            reg.get("prefetcher", "gamma")
+
+    def test_frozen_after_first_build(self):
+        reg = Registry()
+        reg.add("policy", "lru", _policy)
+        assert not reg.frozen
+        reg.build("policy", "lru")
+        assert reg.frozen
+        with pytest.raises(RegistryError, match="frozen"):
+            reg.add("policy", "late", _policy)
+
+    def test_lookup_does_not_freeze(self):
+        # names()/get() power CLI help text at parse time; only build()
+        # (actually constructing a component) seals the registry.
+        reg = Registry()
+        reg.add("policy", "lru", _policy)
+        reg.names("policy")
+        reg.get("policy", "lru")
+        assert not reg.frozen
+        reg.add("policy", "second", _policy)
+
+    def test_pair_separator_reserved_for_setup_side_kinds(self):
+        reg = Registry()
+        for kind in ("policy", "prefetcher", "setup"):
+            with pytest.raises(RegistryError, match="reserved pair separator"):
+                reg.add(kind, "a+b", _policy)
+        # Workload names may contain '+' (the suite has "B+T").
+        reg.add("workload", "B+T", object())
+
+    def test_names_sorted_regardless_of_insertion_order(self):
+        reg = Registry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.add("policy", name, _policy)
+        assert reg.names("policy") == ("alpha", "mid", "zeta")
+
+    def test_non_callable_builder_not_buildable(self):
+        reg = Registry()
+        reg.add("policy", "desc-only", 42)
+        with pytest.raises(RegistryError, match="not buildable"):
+            reg.build("policy", "desc-only")
+
+
+class TestPairSetups:
+    def test_split_pair_name(self):
+        assert split_pair_name("lru+ngram") == ("lru", "ngram")
+        assert split_pair_name("baseline") is None
+        assert split_pair_name("+ngram") is None
+        assert split_pair_name("lru+") is None
+        assert split_pair_name("a+b+c") is None
+
+    def test_pair_setup_resolves_without_registration(self):
+        assert registry.setup_components("mhpe+ngram") == ("mhpe", "ngram")
+
+    def test_unknown_setup_lists_registered_setups(self):
+        with pytest.raises(ConfigError) as err:
+            registry.setup_components("bogus")
+        message = str(err.value)
+        for known in ("baseline", "cppe", "ngram"):
+            assert known in message
+
+    def test_canonical_name_folds_pairs_into_named_setups(self):
+        # The shootout must share cache keys with named-setup runs.
+        assert canonical_setup_name("lru", "locality") == "baseline"
+        assert canonical_setup_name("mhpe", "pattern-s2") == "cppe"
+        assert canonical_setup_name("random", "tree") == pair_setup_name(
+            "random", "tree"
+        )
+
+    def test_build_setup_returns_fresh_instances(self):
+        p1, f1 = registry.build_setup("baseline")
+        p2, f2 = registry.build_setup("lru+locality")
+        assert type(p1) is type(p2)
+        assert type(f1) is type(f2)
+        assert p1 is not p2 and f1 is not f2
+
+
+class TestPluginDiscovery:
+    def test_env_modules_sorted_and_deduplicated(self):
+        raw = "zeta.plugin, alpha.plugin:zeta.plugin,  mid.plugin"
+        assert registry._plugin_env_modules(raw) == [
+            "alpha.plugin",
+            "mid.plugin",
+            "zeta.plugin",
+        ]
+        assert registry._plugin_env_modules("") == []
+
+    def test_discovery_imports_in_sorted_order(self, monkeypatch):
+        imported = []
+        for name in ("corpus_zeta_plug", "corpus_alpha_plug"):
+            module = types.ModuleType(name)
+            monkeypatch.setitem(sys.modules, name, module)
+            imported.append(name)
+        result = registry._discover_plugins(
+            Registry(), "corpus_zeta_plug,corpus_alpha_plug"
+        )
+        assert result == ("corpus_alpha_plug", "corpus_zeta_plug")
+
+    def test_discovery_is_deterministic_across_orderings(self, monkeypatch):
+        for name in ("corpus_a_plug", "corpus_b_plug"):
+            monkeypatch.setitem(sys.modules, name, types.ModuleType(name))
+        first = registry._discover_plugins(
+            Registry(), "corpus_b_plug:corpus_a_plug"
+        )
+        second = registry._discover_plugins(
+            Registry(), "corpus_a_plug,corpus_b_plug"
+        )
+        assert first == second == ("corpus_a_plug", "corpus_b_plug")
+
+    def test_broken_plugin_fails_loudly(self):
+        with pytest.raises(ConfigError, match="failed to import"):
+            registry._discover_plugins(
+                Registry(), "definitely_not_an_importable_module_xyz"
+            )
+
+    def test_in_tree_components_are_not_plugins(self):
+        for kind in ("policy", "prefetcher", "setup"):
+            for entry in registry.items(kind):
+                assert not entry.plugin, entry
+
+    def test_plugin_flag_from_origin(self):
+        assert Registration("policy", "x", _policy, origin="my_lab.pol").plugin
+        assert not Registration(
+            "policy", "x", _policy, origin="repro.policies.lru"
+        ).plugin
+
+
+class TestPluginFingerprintIsolation:
+    """Plugin identity enters the cache key only when actually used."""
+
+    @pytest.fixture()
+    def plugin_registry(self, monkeypatch):
+        reg = Registry()
+        reg.add("policy", "lru", _policy, origin="repro.policies.reserved_lru")
+        reg.add(
+            "prefetcher",
+            "markov",
+            _policy,
+            fingerprint_fields=("prefetch",),
+            origin="my_lab.prefetchers",
+        )
+        reg.add(
+            "prefetcher", "locality", _policy, origin="repro.prefetch.locality"
+        )
+        reg.add(
+            "setup", "baseline", ("lru", "locality"), origin="repro.harness"
+        )
+        monkeypatch.setattr(registry, "_default", reg)
+        return reg
+
+    def test_core_setup_payload_is_none(self, plugin_registry):
+        assert plugin_components_payload("baseline") is None
+        assert plugin_components_payload("lru+locality") is None
+
+    def test_plugin_component_pins_identity(self, plugin_registry):
+        payload = plugin_components_payload("lru+markov")
+        assert payload == {
+            "prefetcher": {
+                "name": "markov",
+                "origin": "my_lab.prefetchers",
+                "fingerprint_fields": ["prefetch"],
+            }
+        }
+
+    def test_plugin_component_changes_cache_key(self, plugin_registry):
+        core = spec_fingerprint(RunSpec("SRD", "lru+locality", 0.5))
+        plug = spec_fingerprint(RunSpec("SRD", "lru+markov", 0.5))
+        assert core != plug
+
+    def test_every_real_setup_payload_is_none(self):
+        # The load-bearing byte-identity precondition: no in-tree setup
+        # (named or compositional) ever grows a "components" section.
+        for setup in registry.names("setup"):
+            assert plugin_components_payload(setup) is None
+        for policy in registry.names("policy"):
+            for prefetcher in registry.names("prefetcher"):
+                pair = pair_setup_name(policy, prefetcher)
+                assert plugin_components_payload(pair) is None
+
+
+#: Golden spec fingerprints captured BEFORE the registry refactor (the 12
+#: pre-existing setups) plus the two ngram setups added with it.  A digest
+#: change here means every warm result cache in existence is invalidated —
+#: never update these without meaning exactly that.
+GOLDEN_FINGERPRINTS = {
+    ("baseline", "SRD"): "e165e2be35529e49e9ae64cc21f60a668862c938bc74e7ca7a8a5f5e50aab861",
+    ("baseline", "NW"): "c79c1bbd99803ac30630175872cdf7754d04e6f2f1db4af10ddf13a3fa31a251",
+    ("cppe", "SRD"): "cded930c8f198b583b99239d058f1e55386981a6689e5387843cd38574b2b605",
+    ("cppe", "NW"): "aae3a630385e2ba17123e766bad3fd605acec78ac416d2bd0acd73c4fd71ffae",
+    ("cppe-ngram", "SRD"): "a914ee28ebf40389b87931f08c81354d402324f2633c8a6e96653132473fb28c",
+    ("cppe-ngram", "NW"): "2dd04d9d2e4ef0bd8c086915f0b588a4be7ce4ad920c3a2e5e2f861c59370bb1",
+    ("cppe-s1", "SRD"): "20aa44b8d54eaed760a9c4d0aeb39f3391f3a33e373900f0302e759aa6f7cd7c",
+    ("cppe-s1", "NW"): "2e4a30182262299df6f2eb59cce6894e6561684f66ec91983c34b7b17e58c5a8",
+    ("hpe", "SRD"): "af63b196d860a07de101fe837167daa39a0845dec706dc96891b614777fc1caf",
+    ("hpe", "NW"): "7a860fd38bb92b17a136dfa720bfc5e1f2f3784ae910b9bb1ad0b7584e3184f7",
+    ("lru-10", "SRD"): "2f16fbeb447d61ef122a59cc14a963fd6ddb1008aeb8d36d5f8560ccc1a586ea",
+    ("lru-10", "NW"): "1008dfaaab5183df545eb36b7436592fbb71e6bed1047b8dc3631a37e8dc6446",
+    ("lru-20", "SRD"): "3bc7bb0a1b665a8997e7ccabb354c43da80a36cfc64eadb707ccb5e370d32d5a",
+    ("lru-20", "NW"): "715a4a540f946cc3534000c6a96a722daccda293d15465fdddf6ca9a9e2d3d6a",
+    ("lru-pattern", "SRD"): "8205485deed4a0519872817667e5184f18feb4b08aa778e14df067cd1f7e993c",
+    ("lru-pattern", "NW"): "ad3cb024fb5c0816d950d0780ff64c80a18fe12e33935db029dc7d01b6df2f50",
+    ("mhpe-naive", "SRD"): "94b161b4012ab5f063e2f1f34fd39f402333af89478842fe85f9366ffa7c3150",
+    ("mhpe-naive", "NW"): "3813955dff5d14b55efa463450040ff9ce16a15ad2545bd4ebbac56516b3ea03",
+    ("ngram", "SRD"): "10295e0a03561a0b0e9a8493b14cc2c90a0f8d4e02ccfb94aafec86259aeecd6",
+    ("ngram", "NW"): "f20fce13bd5360d72f8226938b8f47611246bd9eacc6921716d0a3fd29e3b5aa",
+    ("no-prefetch", "SRD"): "94b125510482aa04299994f275cd532b36d17840dadcd0877934e1ca9ef8a8d2",
+    ("no-prefetch", "NW"): "adc9677863d06915126ea526c6eb0152908efdec27d8314db3877ed6418ab11d",
+    ("random", "SRD"): "947d8404bc684e13253305673a940fc9fd0a6df381e158604fc9d5dd2da928e2",
+    ("random", "NW"): "d7f9c30aab348fb27fb51886c4ff21b79466011871262b851e8115e4fdcdf049",
+    ("stop-on-full", "SRD"): "6e5da331df2d278adf9dd2ccd159d09c13ba317771cd43604ce0c6564b0d1576",
+    ("stop-on-full", "NW"): "3069f97edec98bcfc21641cfacb3a3f9bef89fa1b3f78fa65413df821f095c59",
+    ("tree", "SRD"): "0a97e541350c88f19cd3a2e849cba0224c94a21881e826c10b562e2fc2f1eebe",
+    ("tree", "NW"): "72e4b212d0c06c32ece729e6b0a5b4a7077fdbf29147929bc0665af57c05a828",
+}
+
+
+class TestGoldenCacheKeys:
+    def test_every_registered_setup_has_golden_keys(self):
+        covered = {setup for setup, _ in GOLDEN_FINGERPRINTS}
+        assert covered == set(registry.names("setup"))
+
+    @pytest.mark.parametrize(
+        "setup,app", sorted(GOLDEN_FINGERPRINTS), ids=lambda v: str(v)
+    )
+    def test_fingerprint_is_byte_identical(self, setup, app):
+        if app == "SRD":
+            spec = RunSpec("SRD", setup, 0.5)
+            digest = spec_fingerprint(spec)
+        else:
+            spec = RunSpec("NW", setup, 0.75, scale=0.5, seed=3)
+            digest = spec_fingerprint(spec, SimConfig(seed=7))
+        assert digest == GOLDEN_FINGERPRINTS[(setup, app)]
+
+
+class TestRegistryShape:
+    def test_kinds_closed_set(self):
+        assert KINDS == ("policy", "prefetcher", "setup", "workload")
+
+    def test_all_core_components_registered(self):
+        assert set(registry.names("policy")) >= {
+            "lru", "lru-10", "lru-20", "mhpe", "hpe", "random",
+        }
+        assert set(registry.names("prefetcher")) >= {
+            "locality", "pattern-s1", "pattern-s2", "tree", "ngram", "none",
+        }
+        assert len(registry.names("workload")) >= 10
+
+    def test_setups_resolve_to_registered_components(self):
+        policies = set(registry.names("policy"))
+        prefetchers = set(registry.names("prefetcher"))
+        for setup in registry.names("setup"):
+            policy, prefetcher = registry.setup_components(setup)
+            assert policy in policies, setup
+            assert prefetcher in prefetchers, setup

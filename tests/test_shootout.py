@@ -1,0 +1,161 @@
+"""Shootout artifact tests (repro.harness.shootout + the CLI surface).
+
+The shootout is the registry's first-class proof artifact: the full
+policy x prefetcher cross product, enumerated (never hand-listed), run as
+one batch, ranked against the baseline setup.  The cache contract is the
+sharp edge: canonical setup names mean a shootout shares cache entries
+with every other harness entry point, so a warm re-run must perform zero
+new simulations (asserted in CI too).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import registry
+from repro.cli import main
+from repro.harness.shootout import (
+    BASELINE_SETUP,
+    run_shootout,
+    shootout_setups,
+    shootout_table,
+)
+
+#: STN at scale 0.1 keeps the full 42-combo matrix under a second.
+APP, RATE, SCALE = "STN", 0.5, 0.1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_shootout(APP, rate=RATE, scale=SCALE)
+
+
+class TestEnumeration:
+    def test_full_cross_product(self):
+        setups = shootout_setups()
+        expected = len(registry.names("policy")) * len(
+            registry.names("prefetcher")
+        )
+        assert len(setups) == expected
+        assert setups == sorted(setups)
+
+    def test_pairs_fold_into_canonical_names(self):
+        setups = shootout_setups()
+        # Registered setups appear under their names, not pair spellings…
+        for named in ("baseline", "cppe", "ngram", "tree"):
+            assert named in setups
+        assert "lru+locality" not in setups
+        assert "mhpe+pattern-s2" not in setups
+        # …and unregistered combos appear as pair names.
+        assert "random+tree" in setups
+
+
+class TestRunShootout:
+    def test_covers_every_combo(self, result):
+        assert result.combos == len(shootout_setups())
+        assert result.new_simulations + result.cached == result.combos
+        assert not result.failed
+
+    def test_rows_ranked_by_speedup(self, result):
+        speedups = [row[3] for row in result.table.rows]
+        completed = [s for s in speedups if s is not None]
+        assert completed == sorted(completed, reverse=True)
+        # Crashed/unranked rows sink to the bottom.
+        tail = speedups[len(completed):]
+        assert all(s is None for s in tail)
+
+    def test_baseline_speedup_is_one(self, result):
+        rows = {row[0]: row for row in result.table.rows}
+        assert rows[BASELINE_SETUP][3] == pytest.approx(1.0)
+
+    def test_row_components_match_registry(self, result):
+        for row in result.table.rows:
+            setup, policy, prefetcher = row[0], row[1], row[2]
+            assert registry.setup_components(setup) == (policy, prefetcher)
+
+    def test_render_and_payload(self, result):
+        text = result.render()
+        assert "shootout" in text
+        assert BASELINE_SETUP in text
+        payload = result.to_dict()
+        assert payload["combos"] == result.combos
+        assert payload["app"] == APP
+        assert len(payload["rows"]) == result.combos
+
+
+class TestCacheContract:
+    def test_warm_rerun_performs_zero_new_simulations(self):
+        cold = run_shootout(APP, rate=RATE, scale=SCALE)
+        assert cold.new_simulations > 0
+        warm = run_shootout(APP, rate=RATE, scale=SCALE)
+        assert warm.new_simulations == 0
+        assert warm.cached == warm.combos
+        assert [r[0] for r in warm.table.rows] == [
+            r[0] for r in cold.table.rows
+        ]
+
+    def test_named_setup_runs_share_cache_entries(self):
+        from repro.harness.experiment import RunSpec, run_one
+
+        # A prior named-setup run must be a cache hit for the shootout.
+        for setup in ("baseline", "cppe"):
+            run_one(RunSpec(APP, setup, RATE, scale=SCALE))
+        result = run_shootout(APP, rate=RATE, scale=SCALE)
+        assert result.cached >= 2
+
+
+class TestShootoutTable:
+    def test_regenerator_surface(self):
+        table = shootout_table(apps=[APP], rate=RATE, scale=SCALE)
+        assert table.name == "shootout"
+        assert table.rows
+        assert table.headers[0] == "setup"
+
+
+class TestCli:
+    def test_shootout_command(self, capsys):
+        assert main(
+            ["shootout", APP, "--rate", str(RATE), "--scale", str(SCALE)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert BASELINE_SETUP in out
+        assert "ngram" in out
+
+    def test_shootout_json(self, capsys):
+        assert main(
+            ["shootout", APP, "--rate", str(RATE), "--scale", str(SCALE),
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["combos"] == len(shootout_setups())
+        assert payload["new_simulations"] + payload["cached"] == (
+            payload["combos"]
+        )
+
+    def test_shootout_rejects_bad_rate(self):
+        assert main(["shootout", APP, "--rate", "1.5"]) == 2
+
+    def test_components_list(self, capsys):
+        assert main(["components", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ngram" in out and "policy" in out
+
+    def test_components_list_kind_json(self, capsys):
+        assert main(["components", "list", "--kind", "prefetcher",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"prefetcher"}
+        names = {entry["name"] for entry in payload["prefetcher"]}
+        assert "ngram" in names and "locality" in names
+
+    def test_components_describe(self, capsys):
+        assert main(["components", "describe", "prefetcher", "ngram"]) == 0
+        out = capsys.readouterr().out
+        assert "order" in out and "repro.prefetch.ngram" in out
+
+    def test_components_describe_unknown(self, capsys):
+        assert main(["components", "describe", "prefetcher", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "locality" in err  # lists the valid choices
