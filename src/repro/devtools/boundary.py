@@ -80,6 +80,11 @@ HARNESS_PACKAGES: FrozenSet[str] = frozenset(
         "repro.harness",
         "repro.analysis",
         "repro.devtools",
+        # The long-running experiment service: HTTP front end, job queue,
+        # scheduler thread.  Pure harness — it *drives* simulations through
+        # submit_batch and stamps wall-clock timestamps onto its event
+        # stream, but no simulation state ever flows back out of it.
+        "repro.service",
     }
 )
 

@@ -53,6 +53,71 @@ class PoolError(HarnessError):
     """
 
 
+class ServiceError(HarnessError):
+    """The experiment service (queue, scheduler, HTTP layer) failed.
+
+    Like every :class:`HarnessError`, a service error says nothing about
+    any simulation: the specs behind a rejected or lost job are simply not
+    run (yet), never misreported as failed simulations.  Subclasses carry
+    the HTTP status the server maps them to.
+    """
+
+    #: HTTP status code the service layer renders this error as.
+    http_status = 500
+
+
+class RateLimited(ServiceError):
+    """A submission exceeded the service's token-bucket rate limit."""
+
+    http_status = 429
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"rate limit exceeded; retry after {retry_after_s:.2f}s"
+        )
+        self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        return (RateLimited, (self.retry_after_s,))
+
+
+class AdmissionDenied(ServiceError):
+    """A tenant exceeded its cap of queued/running jobs."""
+
+    http_status = 429
+
+    def __init__(self, tenant: str, active: int, cap: int):
+        super().__init__(
+            f"tenant {tenant!r} has {active} active job(s), cap is {cap}; "
+            "wait for one to finish"
+        )
+        self.tenant = tenant
+        self.active = active
+        self.cap = cap
+
+    def __reduce__(self):
+        return (AdmissionDenied, (self.tenant, self.active, self.cap))
+
+
+class UnknownJob(ServiceError):
+    """A batch/job id that the service has no record of."""
+
+    http_status = 404
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown batch {job_id!r}")
+        self.job_id = job_id
+
+    def __reduce__(self):
+        return (UnknownJob, (self.job_id,))
+
+
+class InvalidJobRequest(ServiceError):
+    """A submission payload that cannot be turned into a job."""
+
+    http_status = 400
+
+
 class WorkerTimeout(HarnessError):
     """A worker stopped making progress within the configured timeout."""
 

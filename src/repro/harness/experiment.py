@@ -19,7 +19,7 @@ deterministic, parallel and serial execution produce identical results
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import SimConfig
 from ..engine.simulator import SimulationResult, Simulator
@@ -34,6 +34,8 @@ __all__ = [
     "run_one",
     "run_matrix",
     "submit_batch",
+    "collapse_results",
+    "spec_label",
     "clear_cache",
     "execution_count",
 ]
@@ -173,6 +175,15 @@ def _spec_label(spec: RunSpec) -> str:
     return label
 
 
+def spec_label(spec: RunSpec) -> str:
+    """Public alias of :func:`_spec_label`: the deterministic label under
+    which a spec's trace events, fault-tolerance outcomes
+    (:class:`~repro.harness.faults.SpecOutcome`) and fault-plan matches are
+    recorded.  The experiment service joins API responses to outcomes
+    through this label."""
+    return _spec_label(spec)
+
+
 def _execute_traced(
     spec: RunSpec,
     config: Optional[SimConfig],
@@ -252,6 +263,32 @@ class BatchStats:
         return self.memo_hits + self.cache_hits
 
 
+def collapse_results(
+    specs: Sequence[RunSpec],
+    results: Sequence[Optional[SimulationResult]],
+) -> Dict[Tuple, Optional[SimulationResult]]:
+    """Collapse position-aligned ``(spec, result)`` pairs to ``{key: result}``.
+
+    A batch may legitimately contain the same spec more than once (service
+    clients concatenate overlapping sweeps; figures share baselines).  The
+    old ``{spec.key(): r for ...}`` comprehension let *zip order* decide
+    which occurrence's value survived for a shared key — so under
+    ``keep_going`` a key whose occurrences resolved to both a result and a
+    ``None`` (failed) could collapse to either, depending on input order.
+    The mapping is now order-independent: a successful result always wins
+    over ``None``; a key maps to ``None`` only when **every** occurrence
+    failed.  Both outcomes remain visible to the caller — the failure is
+    still recorded in the batch's :class:`SpecOutcome` list and counted in
+    :class:`BatchStats`; only the *result* mapping prefers the success.
+    """
+    out: Dict[Tuple, Optional[SimulationResult]] = {}
+    for spec, result in zip(specs, results):
+        key = spec.key()
+        if key not in out or out[key] is None:
+            out[key] = result
+    return out
+
+
 def submit_batch(
     specs: Iterable[RunSpec],
     config: Optional[SimConfig] = None,
@@ -290,7 +327,7 @@ def submit_batch(
         failed=runner.failed,
         timed_out=runner.timed_out,
     )
-    return {spec.key(): r for spec, r in zip(specs, results)}, stats
+    return collapse_results(specs, results), stats
 
 
 def run_matrix(

@@ -235,6 +235,11 @@ class FaultTolerance:
     * ``timeout_s`` — if no worker completes for this long, in-flight
       workers are reaped and their specs marked ``timed_out`` (pool path
       only; an in-process simulation cannot be safely interrupted).
+    * ``max_backoff_s`` — hard cap on any single pool-rebuild sleep.  The
+      exponential schedule ``backoff_s * 2**(attempt-1)`` used to grow
+      without bound, so a generous ``retries`` budget could stall a
+      long-running service's worker loop for minutes; every delay is now
+      clamped (see :meth:`backoff_delay`).
 
     The object accumulates outcomes across every batch it is passed to;
     ``repro regen`` shares one instance across all its artifacts and renders
@@ -245,7 +250,16 @@ class FaultTolerance:
     retries: int = 2
     timeout_s: Optional[float] = None
     backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
     outcomes: List[SpecOutcome] = field(default_factory=list)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Sleep before pool-rebuild ``attempt`` (1-based): exponential from
+        ``backoff_s``, clamped to ``max_backoff_s`` (and never negative)."""
+        if attempt < 1:
+            return 0.0
+        return max(0.0, min(self.backoff_s * 2 ** (attempt - 1),
+                            self.max_backoff_s))
 
     def record(self, outcome: SpecOutcome) -> SpecOutcome:
         self.outcomes.append(outcome)

@@ -428,8 +428,10 @@ class ParallelRunner:
                 self.fell_back_serial = True
                 return remaining
             # Harness-side wall clock: backoff before rebuilding the pool
-            # (never reachable from simulation state).
-            time.sleep(ft.backoff_s * (2 ** (attempt - 1)))
+            # (never reachable from simulation state).  The delay is
+            # clamped by FaultTolerance.max_backoff_s so a deep retry
+            # budget cannot stall a service worker loop for minutes.
+            time.sleep(ft.backoff_delay(attempt))
         return []
 
     def _dispatch(

@@ -1,0 +1,123 @@
+"""Thin stdlib client for the experiment service.
+
+Backs ``repro submit`` / ``repro status`` and the e2e tests; it is just
+``urllib`` plus the wire format — no retries, no connection pooling.  The
+one non-trivial piece is :meth:`ServiceClient.events`, which iterates the
+NDJSON stream line by line so callers can react to progress while the
+batch is still running.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, Optional
+from urllib.parse import quote
+
+from ..errors import ServiceError
+from .wire import JSONDict
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one running service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # --- plumbing ---------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[JSONDict] = None
+    ) -> JSONDict:
+        data = None
+        headers: Dict[str, str] = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}"
+                + (f": {detail}" if detail else "")
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{method} {path} failed: {exc.reason}") from exc
+        assert isinstance(payload, dict)
+        return payload
+
+    # --- API --------------------------------------------------------------
+
+    def health(self) -> JSONDict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, payload: JSONDict) -> JSONDict:
+        """``POST /batches``; returns the new job's status view."""
+        return self._request("POST", "/batches", body=payload)
+
+    def status(self, job_id: str) -> JSONDict:
+        return self._request("GET", f"/batches/{quote(job_id)}")
+
+    def list_batches(self) -> JSONDict:
+        return self._request("GET", "/batches")
+
+    def cancel(self, job_id: str) -> JSONDict:
+        return self._request("DELETE", f"/batches/{quote(job_id)}")
+
+    def events(
+        self, job_id: str, after: int = 0, follow: bool = False
+    ) -> Iterator[JSONDict]:
+        """Iterate the job's NDJSON event stream (parsed per line)."""
+        path = (
+            f"/batches/{quote(job_id)}/events"
+            f"?after={after}&follow={'1' if follow else '0'}"
+        )
+        req = urllib.request.Request(
+            self.base_url + path, headers={"Accept": "application/x-ndjson"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                for raw in resp:
+                    line = raw.decode("utf-8").strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    assert isinstance(event, dict)
+                    yield event
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"GET {path} -> {exc.code}"
+            ) from exc
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.2,
+    ) -> JSONDict:
+        """Poll until the job is terminal; returns its final status view."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            view = self.status(job_id)
+            state = view.get("state")
+            if state in ("done", "failed", "cancelled"):
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"batch {job_id!r} still {state!r} after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)

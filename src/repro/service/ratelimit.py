@@ -1,0 +1,123 @@
+"""Admission control for the experiment service.
+
+Two independent gates, both consulted by ``POST /batches`` before a job
+is accepted:
+
+* :class:`TokenBucket` — a classic token bucket bounding the *rate* of
+  submissions service-wide.  The clock is injectable so tests drive it
+  deterministically (the default is ``time.monotonic`` — this is harness
+  code, wall time is allowed).
+* :class:`TenantAdmission` — a cap on *concurrently active* (queued or
+  running) jobs per tenant, so one chatty client cannot starve the queue.
+
+Both raise the matching :class:`~repro.errors.ServiceError` subclass
+(:class:`~repro.errors.RateLimited` / :class:`~repro.errors.AdmissionDenied`),
+which the HTTP layer renders as 429s.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import AdmissionDenied, RateLimited, ServiceError
+
+__all__ = ["TokenBucket", "TenantAdmission"]
+
+
+class TokenBucket:
+    """Token bucket: ``capacity`` burst, ``refill_per_s`` sustained rate.
+
+    ``acquire`` takes one token or raises :class:`RateLimited` carrying the
+    time until a token will be available.  ``refill_per_s <= 0`` disables
+    the limiter (every acquire succeeds) — the service's default.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        refill_per_s: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"token bucket capacity must be >= 1: {capacity}")
+        self._capacity = float(capacity)
+        self._refill_per_s = refill_per_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = float(capacity)
+        self._last = self._clock()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._refill_per_s > 0
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(
+            self._capacity, self._tokens + elapsed * self._refill_per_s
+        )
+
+    def available(self) -> float:
+        """Current token count (after refill accrual)."""
+        with self._lock:
+            if not self.enabled:
+                return self._capacity
+            self._refill_locked()
+            return self._tokens
+
+    def acquire(self) -> None:
+        """Take one token or raise :class:`RateLimited`."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return
+            retry_after = (1.0 - self._tokens) / self._refill_per_s
+        raise RateLimited(retry_after)
+
+
+class TenantAdmission:
+    """Per-tenant cap on concurrently active (queued or running) jobs.
+
+    ``admit`` reserves a slot or raises :class:`AdmissionDenied`;
+    ``release`` frees it when the job reaches a terminal state.  A cap of
+    0 (or below) disables the gate.  On service restart, recovered
+    non-terminal jobs are re-admitted via ``admit`` so the accounting
+    survives the process boundary.
+    """
+
+    def __init__(self, cap_per_tenant: int) -> None:
+        self._cap = cap_per_tenant
+        self._active: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._cap > 0
+
+    def active(self, tenant: str) -> int:
+        with self._lock:
+            return self._active.get(tenant, 0)
+
+    def admit(self, tenant: str) -> None:
+        """Reserve one slot for ``tenant`` or raise :class:`AdmissionDenied`."""
+        with self._lock:
+            current = self._active.get(tenant, 0)
+            if self.enabled and current >= self._cap:
+                raise AdmissionDenied(tenant, current, self._cap)
+            self._active[tenant] = current + 1
+
+    def release(self, tenant: str) -> None:
+        """Free one slot (idempotent past zero: never goes negative)."""
+        with self._lock:
+            current = self._active.get(tenant, 0)
+            if current <= 1:
+                self._active.pop(tenant, None)
+            else:
+                self._active[tenant] = current - 1

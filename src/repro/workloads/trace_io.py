@@ -29,9 +29,30 @@ __all__ = [
 ]
 
 
+def _npz_path(path: Path) -> Path:
+    """The path ``np.savez`` actually writes for ``path``.
+
+    Mirrors numpy's rule exactly — append ``.npz`` unless the *name string*
+    already ends with it — using ``with_name`` rather than ``with_suffix``,
+    so suffixless (``trace``), multi-dot (``trace.v1.2``) and trailing-dot
+    (``trace.``) names all resolve to the real on-disk file instead of a
+    re-derived guess (``with_suffix`` raises on trailing-dot names and
+    *replaces* the last suffix instead of appending).
+    """
+    if path.name.endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
+
+
 def save_trace(workload: Workload, path: Union[str, Path]) -> Path:
-    """Store a workload's trace as a compressed ``.npz``."""
-    path = Path(path)
+    """Store a workload's trace as a compressed ``.npz``.
+
+    Returns the path actually written: the on-disk target is computed
+    *once* (:func:`_npz_path`) before writing and handed to numpy already
+    carrying its ``.npz`` suffix, so the returned path can never drift
+    from the file numpy created.
+    """
+    path = _npz_path(Path(path))
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
         path,
@@ -43,14 +64,19 @@ def save_trace(workload: Workload, path: Union[str, Path]) -> Path:
         pattern_type=np.str_(workload.pattern_type),
         distribution=np.str_(workload.distribution),
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 def load_trace(path: Union[str, Path]) -> Workload:
-    """Load a workload previously written by :func:`save_trace`."""
+    """Load a workload previously written by :func:`save_trace`.
+
+    Accepts either the exact path :func:`save_trace` returned or the
+    original suffixless argument (the fallback applies the same
+    ``.npz``-append rule the writer used).
+    """
     path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists() and _npz_path(path).exists():
+        path = _npz_path(path)
     with np.load(path, allow_pickle=False) as data:
         writes = data["writes"]
         return Workload(

@@ -464,3 +464,57 @@ class TestCliRegen:
         with pytest.raises(WorkerFailure):
             main(["regen", "fig3", "--apps", "STN", "NW", "--scale", "0.25",
                   "-j", "2"])
+
+
+class TestBackoffClamp:
+    """Regression: the pool-rebuild backoff schedule is clamped.
+
+    ``backoff_s * 2**(attempt-1)`` used to grow without bound, so a
+    generous ``retries`` budget meant a crashing worker could stall the
+    runner (and the experiment service's single drain thread) for minutes
+    between rebuilds.  ``max_backoff_s`` caps every single sleep.
+    """
+
+    def test_exponential_then_clamped(self):
+        ft = FaultTolerance(backoff_s=0.05, max_backoff_s=0.2)
+        delays = [ft.backoff_delay(attempt) for attempt in range(1, 7)]
+        assert delays == pytest.approx([0.05, 0.1, 0.2, 0.2, 0.2, 0.2])
+
+    def test_deep_attempt_stays_bounded_at_default(self):
+        ft = FaultTolerance()
+        # Pre-clamp, attempt 20 meant 0.05 * 2**19 ≈ 26214 seconds.
+        assert ft.backoff_delay(20) == ft.max_backoff_s == 2.0
+        assert all(ft.backoff_delay(a) <= 2.0 for a in range(1, 64))
+
+    def test_cap_below_base_applies_immediately(self):
+        ft = FaultTolerance(backoff_s=1.0, max_backoff_s=0.01)
+        assert ft.backoff_delay(1) == pytest.approx(0.01)
+
+    def test_attempts_before_one_sleep_zero(self):
+        ft = FaultTolerance()
+        assert ft.backoff_delay(0) == 0.0
+        assert ft.backoff_delay(-3) == 0.0
+
+    def test_zero_cap_disables_sleeping(self):
+        ft = FaultTolerance(backoff_s=0.5, max_backoff_s=0.0)
+        assert all(ft.backoff_delay(a) == 0.0 for a in range(1, 8))
+
+    def test_pool_rebuild_sleeps_are_clamped(self, monkeypatch, tmp_path):
+        """The runner's actual sleeps respect the clamp under crash retries."""
+        from repro.harness import parallel as parallel_mod
+
+        recorded = []
+        monkeypatch.setattr(
+            parallel_mod.time, "sleep", lambda s: recorded.append(s)
+        )
+        set_plan(
+            monkeypatch,
+            {"match": "STN@", "action": "crash",
+             "once_flag": str(tmp_path / "crash-once")},
+        )
+        ft = FaultTolerance(keep_going=True, retries=2,
+                            backoff_s=4.0, max_backoff_s=0.01)
+        runner = ParallelRunner(jobs=2, cache=None, fault_tolerance=ft)
+        runner.run([SPECS[0]], config=FAST)
+        assert recorded, "a crashed worker must trigger a backoff sleep"
+        assert all(delay <= 0.01 for delay in recorded)

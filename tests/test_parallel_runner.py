@@ -202,3 +202,64 @@ class TestWarmCacheRegeneration:
         assert [dataclasses.asdict(p) for p in first.points] == [
             dataclasses.asdict(p) for p in second.points
         ]
+
+
+class TestDuplicateCollapse:
+    """Regression: duplicate-spec result collapse is order-independent.
+
+    ``submit_batch`` collapses position-aligned ``(spec, result)`` pairs to
+    a ``{key: result}`` mapping.  The old dict comprehension let zip order
+    decide which occurrence survived for a duplicated key, so under
+    ``keep_going`` a key that resolved to both a result and a ``None``
+    could collapse to either.  ``collapse_results`` now always prefers the
+    successful result.
+    """
+
+    def _result(self, spec):
+        clear_cache(disk=False)
+        return run_matrix([spec], config=FAST, cache=None)[spec.key()]
+
+    def test_success_wins_regardless_of_order(self):
+        from repro.harness.experiment import collapse_results
+
+        spec = MATRIX[0]
+        result = self._result(spec)
+        forward = collapse_results([spec, spec], [result, None])
+        backward = collapse_results([spec, spec], [None, result])
+        assert forward[spec.key()] is result
+        assert backward[spec.key()] is result
+        assert forward == backward
+
+    def test_all_failed_occurrences_stay_none(self):
+        from repro.harness.experiment import collapse_results
+
+        spec = MATRIX[0]
+        assert collapse_results([spec, spec], [None, None]) == {
+            spec.key(): None
+        }
+
+    def test_distinct_keys_unaffected(self):
+        from repro.harness.experiment import collapse_results
+
+        a, b = MATRIX[0], MATRIX[2]
+        ra = self._result(a)
+        out = collapse_results([a, b, a], [ra, None, None])
+        assert out == {a.key(): ra, b.key(): None}
+
+    def test_duplicate_specs_serial_parallel_parity(self):
+        from repro.harness.experiment import submit_batch
+
+        spec = MATRIX[0]
+        batch = [spec, spec, spec]
+        clear_cache(disk=False)
+        serial, serial_stats = submit_batch(
+            batch, config=FAST, use_cache=False, jobs=1
+        )
+        clear_cache(disk=False)
+        parallel, parallel_stats = submit_batch(
+            batch, config=FAST, use_cache=False, jobs=2
+        )
+        assert serial_stats.simulated == parallel_stats.simulated == 1
+        assert result_payload(serial[spec.key()]) == result_payload(
+            parallel[spec.key()]
+        )

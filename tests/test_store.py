@@ -1,10 +1,12 @@
 """Artifact persistence (repro.harness.store)."""
 
+import os
+
 import pytest
 
 from repro.errors import ReproError
 from repro.harness.figures import FigureResult
-from repro.harness.store import load_artifact, save_artifact
+from repro.harness.store import atomic_write_text, load_artifact, save_artifact
 from repro.harness.tables import TableResult
 
 
@@ -53,6 +55,73 @@ class TestRoundTrip:
         p.write_text('{"kind": "mystery"}')
         with pytest.raises(ReproError):
             load_artifact(p)
+
+
+class TestAtomicWrites:
+    """Regression: artifact writes are atomic and explicitly utf-8.
+
+    The old ``Path.write_text(...)`` path could leave a truncated JSON
+    file behind when the process died mid-write, and its byte encoding
+    followed the host locale.  ``atomic_write_text`` stages a temp file
+    and ``os.replace``s it into place.
+    """
+
+    def test_writes_utf8_regardless_of_locale(self, tmp_path):
+        target = tmp_path / "note.txt"
+        atomic_write_text(target, "µ-benchmark — ✓")
+        assert target.read_bytes().decode("utf-8") == "µ-benchmark — ✓"
+
+    def test_no_temp_residue_after_success(self, tmp_path):
+        atomic_write_text(tmp_path / "a.json", "{}")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.json"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = atomic_write_text(tmp_path / "deep" / "er" / "a.txt", "x")
+        assert path.read_text(encoding="utf-8") == "x"
+
+    def test_interrupted_write_preserves_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "state.json"
+        atomic_write_text(target, "old complete content")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at the replace boundary")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new content that never lands")
+        monkeypatch.undo()
+        # Readers only ever observe the previous complete file...
+        assert target.read_text(encoding="utf-8") == "old complete content"
+        # ...and the staged temp file is cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_save_artifact_interrupted_keeps_loadable_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        fig = FigureResult("figX", "demo", series={"cppe": {"SRD": 2.0}})
+        path = save_artifact(fig, tmp_path / "figX.json")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_artifact(
+                FigureResult("figX", "newer", series={}), tmp_path / "figX.json"
+            )
+        monkeypatch.undo()
+        loaded = load_artifact(path)
+        assert loaded.description == "demo"  # the complete old artifact
+
+    def test_save_artifact_unicode_roundtrip(self, tmp_path):
+        fig = FigureResult(
+            "figµ", "naïve → tuned", series={"cppe": {"SRD": 1.0}},
+            notes=["±5% error bars"],
+        )
+        loaded = load_artifact(save_artifact(fig, tmp_path / "figµ.json"))
+        assert loaded.name == "figµ"
+        assert loaded.description == "naïve → tuned"
+        assert loaded.notes == ["±5% error bars"]
 
 
 class TestDocgen:

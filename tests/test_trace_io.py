@@ -47,6 +47,61 @@ class TestSaveLoad:
         assert a.total_cycles == b.total_cycles
 
 
+class TestReturnPathParity:
+    """Regression: ``save_trace`` returns the path numpy actually wrote.
+
+    ``np.savez_compressed`` appends ``.npz`` unless the *name* already ends
+    with it.  The old return path re-derived that with ``with_suffix``,
+    which *replaces* the final suffix of multi-dot names and raises
+    ``ValueError`` on trailing-dot names — so the returned path could point
+    at a file that does not exist.
+    """
+
+    def test_suffixless_name(self, tmp_path):
+        returned = save_trace(make_simple_workload(), tmp_path / "trace")
+        assert returned.name == "trace.npz"
+        assert returned.exists()
+        load_trace(returned)
+
+    def test_multi_dot_name(self, tmp_path):
+        # with_suffix would have returned "model.npz" (replacing ".v2"),
+        # while numpy writes "model.v2.npz".
+        returned = save_trace(make_simple_workload(), tmp_path / "model.v2")
+        assert returned.name == "model.v2.npz"
+        assert returned.exists()
+        load_trace(returned)
+
+    def test_trailing_dot_name(self, tmp_path):
+        # with_suffix raises ValueError on "trace."; numpy happily writes
+        # "trace..npz".
+        returned = save_trace(make_simple_workload(), tmp_path / "trace.")
+        assert returned.name == "trace..npz"
+        assert returned.exists()
+        load_trace(returned)
+
+    def test_hidden_file_name(self, tmp_path):
+        returned = save_trace(make_simple_workload(), tmp_path / ".trace")
+        assert returned.name == ".trace.npz"
+        assert returned.exists()
+
+    def test_explicit_npz_unchanged(self, tmp_path):
+        returned = save_trace(make_simple_workload(), tmp_path / "t.npz")
+        assert returned == tmp_path / "t.npz"
+
+    def test_load_accepts_original_suffixless_argument(self, tmp_path):
+        wl = make_simple_workload()
+        save_trace(wl, tmp_path / "trace")
+        loaded = load_trace(tmp_path / "trace")  # fallback appends .npz
+        assert np.array_equal(loaded.accesses, wl.accesses)
+
+    def test_every_returned_path_round_trips(self, tmp_path):
+        wl = make_simple_workload()
+        for name in ("plain", "a.b.c", "dotty.", ".hidden", "x.npz"):
+            returned = save_trace(wl, tmp_path / name)
+            assert returned.exists(), name
+            assert np.array_equal(load_trace(returned).accesses, wl.accesses)
+
+
 class TestDownsample:
     def test_keeps_every_nth(self):
         wl = make_simple_workload()
